@@ -1,0 +1,29 @@
+"""Benchmark-suite fixtures.
+
+One session-scoped :class:`~repro.harness.runner.Runner` is shared by all
+benchmark targets so common simulation runs (flat / baseline-dp / spawn per
+benchmark) are performed once; each figure then reports its own rows.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+tables alongside the timing report.
+"""
+
+import pytest
+
+from repro.harness.runner import Runner
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner()
+
+
+def report(result) -> None:
+    """Print a reproduced table (visible with -s / captured otherwise)."""
+    print()
+    print(result.table())
+
+
+def once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

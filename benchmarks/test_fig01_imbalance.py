@@ -1,0 +1,12 @@
+"""Fig. 1: BFS per-thread workload imbalance."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig01_imbalance
+
+
+def test_fig01_imbalance(benchmark, runner):
+    result = once(benchmark, lambda: fig01_imbalance.run(runner))
+    report(result)
+    work = result.extras["work"]
+    # The imbalance the paper motivates with: heavy threads dominate.
+    assert work.max() > 10 * work.mean()

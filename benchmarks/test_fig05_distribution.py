@@ -1,0 +1,32 @@
+"""Fig. 5: speedup vs parent/child workload distribution, all 13 benchmarks.
+
+This is the paper's central characterization: the preferred distribution
+differs per benchmark (Observation 1), JOIN-uniform/AMR prefer parent-side
+work (Observation 2), MM/SA prefer heavy offloading (Observation 3), and
+static tuning yields significant gains (Observation 4).
+"""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig05_distribution
+
+
+def test_fig05_distribution(benchmark, runner):
+    result = once(benchmark, lambda: fig05_distribution.run(runner))
+    report(result)
+    sweeps = result.extras["sweeps"]
+    assert len(sweeps) == 13
+
+    # Observation 1: preferred thresholds differ across benchmarks.
+    best_offloads = {n: s.best().offload_fraction for n, s in sweeps.items()}
+    assert max(best_offloads.values()) - min(best_offloads.values()) > 0.3
+
+    # Observation 2: JOIN-uniform prefers (almost) everything in the parent.
+    assert best_offloads["JOIN-uniform"] < 0.3
+
+    # Observation 3: MM/SA prefer offloading a large share.
+    assert best_offloads["MM-small"] > 0.5
+    assert best_offloads["SA-thaliana"] > 0.5
+
+    # Observation 4: static tuning gains are significant somewhere.
+    gains = [s.best().speedup_over_flat for s in sweeps.values()]
+    assert max(gains) > 2.0

@@ -1,0 +1,20 @@
+"""Fig. 6: CTA concurrency / utilization timeline, BFS-graph500 Baseline-DP."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig06_concurrency
+
+
+def test_fig06_concurrency(benchmark, runner):
+    result = once(benchmark, lambda: fig06_concurrency.run(runner))
+    report(result)
+    trace = result.extras["trace"]
+    limit = runner.config.max_concurrent_ctas
+    assert all(s.total_ctas <= limit for s in trace)
+    # Phases: a parent-only prologue, then child CTAs appear.
+    assert trace[0].child_ctas == 0
+    assert any(s.child_ctas > 0 for s in trace)
+    # The child-dominated tail has lower utilization than the mixed phase
+    # (lightweight children underuse the SMXs) - the paper's key picture.
+    peak_util = max(s.utilization for s in trace)
+    tail = [s.utilization for s in trace[-max(3, len(trace) // 10):]]
+    assert min(tail) < peak_util

@@ -1,0 +1,15 @@
+"""Fig. 7: sensitivity to child CTA dimensions (64/128/256 vs 32)."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig07_cta_size
+
+
+def test_fig07_cta_size(benchmark, runner):
+    result = once(benchmark, lambda: fig07_cta_size.run(runner))
+    report(result)
+    assert len(result.rows) == 13
+    # Paper: only certain applications are sensitive; most sit near 1.0.
+    near_one = sum(
+        1 for row in result.rows if all(0.5 <= v <= 2.0 for v in row[1:])
+    )
+    assert near_one >= 7

@@ -1,0 +1,15 @@
+"""Fig. 8: per-child-kernel SWQ vs per-parent-CTA SWQ."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig08_streams
+from repro.harness.runner import geometric_mean
+
+
+def test_fig08_streams(benchmark, runner):
+    result = once(benchmark, lambda: fig08_streams.run(runner))
+    report(result)
+    speedups = [row[1] for row in result.rows]
+    # The paper: assigning each child a unique SWQ id always performs better
+    # (or equal); on average it must win.
+    assert geometric_mean(speedups) >= 1.0
+    assert max(speedups) > 1.05

@@ -1,0 +1,20 @@
+"""Fig. 12: child-CTA execution-time distribution tightness."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig12_cta_time_pdf
+
+
+def test_fig12_cta_time_pdf(benchmark, runner):
+    result = once(benchmark, lambda: fig12_cta_time_pdf.run(runner))
+    report(result)
+    # The SPAWN accuracy argument: execution times cluster around the mean.
+    # In our simulator the clustering is looser than the paper's hardware
+    # measurement (processor-sharing contention varies across run phases);
+    # EXPERIMENTS.md records the deviation.
+    tightest = 0.0
+    for row in result.rows:
+        name, count, mean, within10, within20 = row
+        assert count > 0
+        assert float(within20.rstrip("%")) >= 15.0
+        tightest = max(tightest, float(within10.rstrip("%")))
+    assert tightest >= 80.0  # at least one benchmark shows the tight regime

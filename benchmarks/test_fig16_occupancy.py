@@ -1,0 +1,13 @@
+"""Fig. 16: SMX occupancy under the three schemes."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig16_occupancy
+
+
+def test_fig16_occupancy(benchmark, runner):
+    result = once(benchmark, lambda: fig16_occupancy.run(runner))
+    report(result)
+    # SPAWN improves occupancy over Baseline-DP on average (paper: 1.96x).
+    assert "x (paper: 1.96x)" in result.notes
+    factor = float(result.notes.split(":")[1].strip().split("x")[0])
+    assert factor > 1.2

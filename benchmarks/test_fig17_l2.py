@@ -1,0 +1,14 @@
+"""Fig. 17: L2 hit rates under the three schemes."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig17_l2
+
+
+def test_fig17_l2(benchmark, runner):
+    result = once(benchmark, lambda: fig17_l2.run(runner))
+    report(result)
+    # The paper reports ~+10 points over Baseline-DP; our substitution keeps
+    # SPAWN within a few points of Baseline-DP (see EXPERIMENTS.md for the
+    # documented deviation on the graph inputs).
+    delta = float(result.notes.split(":")[1].strip().split(" ")[0])
+    assert delta > -6.0

@@ -1,0 +1,15 @@
+"""Fig. 18: number of child kernels launched under the three schemes."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig18_kernel_count
+
+
+def test_fig18_kernel_count(benchmark, runner):
+    result = once(benchmark, lambda: fig18_kernel_count.run(runner))
+    report(result)
+    # SPAWN reduces the launched-kernel count substantially (paper: 73%).
+    reduction = float(result.notes.split(":")[1].strip().split("%")[0])
+    assert reduction > 30.0
+    # And never launches more than Baseline-DP.
+    for name, base, offline, spawn in result.rows:
+        assert spawn <= base

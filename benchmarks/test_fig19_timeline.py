@@ -1,0 +1,23 @@
+"""Fig. 19: Baseline-DP vs SPAWN concurrency timelines (BFS-graph500)."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig19_timeline
+
+
+def test_fig19_timeline(benchmark, runner):
+    result = once(benchmark, lambda: fig19_timeline.run(runner))
+    report(result)
+    traces = result.extras["traces"]
+    base_trace, base_result = traces["baseline-dp"]
+    spawn_trace, spawn_result = traces["spawn"]
+    # SPAWN finishes earlier (the paper: 1600k vs 2400k cycles).
+    assert spawn_result.makespan < base_result.makespan
+    # Under SPAWN, parent CTAs remain resident deeper into the run
+    # (relative to each run's own length).
+    def parent_active_fraction(trace, makespan):
+        last = max((s.time for s in trace if s.parent_ctas > 0), default=0.0)
+        return last / makespan
+
+    assert parent_active_fraction(spawn_trace, spawn_result.makespan) >= (
+        parent_active_fraction(base_trace, base_result.makespan) - 0.05
+    )

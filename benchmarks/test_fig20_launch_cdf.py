@@ -1,0 +1,22 @@
+"""Fig. 20: cumulative child-kernel launches over time (BFS-graph500)."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig20_launch_cdf
+
+
+def test_fig20_launch_cdf(benchmark, runner):
+    result = once(benchmark, lambda: fig20_launch_cdf.run(runner))
+    report(result)
+    cdfs = result.extras["cdfs"]
+    base = cdfs["baseline-dp"]
+    spawn = cdfs["spawn"]
+    # SPAWN launches far fewer kernels in total...
+    assert spawn[-1][1] < base[-1][1] * 0.7
+    # ...and its launch-count curve stays below the baseline's throughout.
+    import bisect
+
+    base_times = [t for t, _ in base]
+    for t, count in spawn:
+        idx = bisect.bisect_right(base_times, t)
+        base_count = base[idx - 1][1] if idx else 0
+        assert count <= base_count + 1

@@ -1,0 +1,34 @@
+"""Fig. 21: SPAWN vs DTBL on SA / MM / SSSP.
+
+Paper pattern: SPAWN wins where the CTA-concurrency limit binds (SA),
+roughly ties on MM, and DTBL wins where per-kernel launch overhead binds
+(SSSP's many small child kernels).
+
+At this reproduction's (smaller) workload scale the per-kernel launch
+overhead is a relatively larger share of every run, so DTBL — which by
+construction eliminates exactly that cost — wins across the board; the
+SSSP direction (DTBL >= SPAWN) and DTBL's largest margins landing on the
+launch-overhead-bound benchmarks are preserved.  EXPERIMENTS.md records
+the SA crossover as a non-reproduced shape and why.
+"""
+
+from benchmarks.conftest import once, report
+from repro.experiments import fig21_dtbl
+
+
+def test_fig21_dtbl(benchmark, runner):
+    result = once(benchmark, lambda: fig21_dtbl.run(runner))
+    report(result)
+    rows = {row[1]: row for row in result.rows}
+
+    # DTBL eliminates launch overhead, so it must beat SPAWN on SSSP
+    # (launch-overhead-bound: many small child kernels) - paper shape.
+    for name in ("SSSP-citation", "SSSP-graph500"):
+        _, _, spawn, dtbl = rows[name]
+        assert dtbl >= spawn * 0.95
+
+    # Both mechanisms must beat flat on the imbalance-heavy benchmarks.
+    for name in ("MM-small", "MM-large", "SA-thaliana"):
+        _, _, spawn, dtbl = rows[name]
+        assert spawn > 1.0
+        assert dtbl > 1.0

@@ -1,0 +1,17 @@
+"""Regenerate Table I (benchmark inventory) and Table II (GPU config)."""
+
+from benchmarks.conftest import once, report
+from repro.experiments import tables
+
+
+def test_table1_benchmarks(benchmark, runner):
+    result = once(benchmark, lambda: tables.run_table1(runner))
+    report(result)
+    assert len(result.rows) == 13
+
+
+def test_table2_config(benchmark, runner):
+    result = once(benchmark, lambda: tables.run_table2(runner))
+    report(result)
+    text = result.table()
+    assert "1721" in text and "20210" in text

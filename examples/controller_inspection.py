@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Inspect SPAWN's Algorithm 1 decisions, estimate by estimate.
+
+Runs AMR under SPAWN with decision tracing enabled and prints a sample of
+the controller's t_child / t_parent estimates: the bootstrap launches, the
+declines of lightweight refinements, and the launches of heavyweight ones.
+Also demonstrates using the SpawnController standalone, outside the
+simulator, as a library component.
+
+Run:  python examples/controller_inspection.py
+"""
+
+from repro import CCQS, GPUSimulator, MetricsMonitor, SpawnController, SpawnPolicy
+from repro.harness.report import format_table
+from repro.workloads import get_benchmark
+
+
+def traced_run() -> None:
+    policy = SpawnPolicy(keep_trace=True)
+    sim = GPUSimulator(policy=policy)
+    result = sim.run(get_benchmark("AMR").dp(seed=1))
+
+    trace = policy.controller.trace
+    bootstrap = [t for t in trace if t.t_child == 0]
+    declines = [t for t in trace if not t.launched]
+    launches = [t for t in trace if t.launched and t.t_child > 0]
+
+    print(f"AMR under SPAWN: makespan={result.makespan:.0f} cycles")
+    print(
+        f"decisions={len(trace)}  bootstrap={len(bootstrap)}  "
+        f"launched={len(launches)}  declined={len(declines)}"
+    )
+
+    def sample(entries, label, k=5):
+        rows = [
+            (
+                f"{t.time:.0f}",
+                t.x,
+                t.n_before,
+                f"{t.t_child:.0f}",
+                f"{t.t_parent:.0f}",
+            )
+            for t in entries[:k]
+        ]
+        print()
+        print(
+            format_table(
+                ["cycle", "x (CTAs)", "n (CCQS)", "t_child est", "t_parent est"],
+                rows,
+                title=label,
+            )
+        )
+
+    sample(declines, "sample declined launches (t_child > t_parent)")
+    sample(launches, "sample approved launches (t_child <= t_parent)")
+
+
+def standalone_controller() -> None:
+    """Drive Algorithm 1 by hand, no simulator involved."""
+    monitor = MetricsMonitor(window_cycles=1024)
+    controller = SpawnController(
+        ccqs=CCQS(monitor), launch_overhead_cycles=1721 + 20210
+    )
+
+    # Bootstrap: with no completed child CTA, everything launches.
+    assert controller.decide(time=0.0, num_ctas=4, workload_items=10)
+
+    # Teach the controller a throughput history: 8 concurrent CTAs of
+    # 500 cycles each, then watch it discriminate by workload.
+    for _ in range(8):
+        monitor.on_cta_started(0.0)
+    monitor.advance(1024.0)
+    for i in range(4):
+        monitor.on_cta_finished(1024.0 + i, exec_time=500.0, items_per_thread=1)
+
+    small = controller.decide(time=2000.0, num_ctas=1, workload_items=8)
+    large = controller.decide(time=2000.0, num_ctas=4, workload_items=5000)
+    print()
+    print(f"standalone controller: 8-item workload -> {'launch' if small else 'serial'}")
+    print(f"standalone controller: 5000-item workload -> {'launch' if large else 'serial'}")
+
+
+if __name__ == "__main__":
+    traced_run()
+    standalone_controller()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Build a custom dynamic-parallelism application with the public API.
+
+Models a toy "particle sort" kernel: 2,048 spatial bins, most holding a few
+particles, a heavy tail holding thousands (a lognormal distribution).  Each
+parent thread owns one bin; heavy bins carry a ChildRequest so the runtime
+policy can offload them to a child kernel.
+
+The example runs the same application under every launch policy the library
+ships and under both stream (SWQ) assignment modes — the full decision
+surface a CUDA programmer would otherwise explore by hand.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import (
+    Application,
+    AlwaysLaunchPolicy,
+    ChildRequest,
+    DTBLPolicy,
+    GPUSimulator,
+    KernelSpec,
+    NeverLaunchPolicy,
+    PerParentCTAStream,
+    SpawnPolicy,
+    StaticThresholdPolicy,
+)
+from repro.harness.report import format_table
+from repro.workloads.base import AddressAllocator
+
+NUM_BINS = 2048
+THRESHOLD = 64  # structural: below this a child kernel can't fill a warp
+
+
+def build_app(seed: int = 7) -> Application:
+    rng = np.random.default_rng(seed)
+    particles = np.clip(
+        np.round(np.exp(rng.normal(2.5, 1.3, size=NUM_BINS))), 1, 4096
+    ).astype(np.int64)
+
+    alloc = AddressAllocator()
+    particle_base = alloc.alloc(int(particles.sum()) * 16)
+    offsets = np.zeros(NUM_BINS, dtype=np.int64)
+    np.cumsum(particles[:-1], out=offsets[1:])
+    bases = particle_base + offsets * 16
+
+    items = np.ones(NUM_BINS, dtype=np.int64)  # bin-header bookkeeping
+    requests = {}
+    for bin_id in range(NUM_BINS):
+        count = int(particles[bin_id])
+        if count > THRESHOLD:
+            requests[bin_id] = ChildRequest(
+                name=f"sort-bin{bin_id}",
+                items=count,
+                cta_threads=64,
+                cycles_per_item=10.0,
+                accesses_per_item=1.0,
+                mem_base=int(bases[bin_id]),
+                mem_stride=16,
+            )
+        else:
+            items[bin_id] += count
+
+    spec = KernelSpec(
+        name="particle-sort",
+        threads_per_cta=128,
+        thread_items=items,
+        cycles_per_item=10.0,
+        accesses_per_item=1.0,
+        mem_bases=bases,
+        mem_stride=16,
+        child_requests=requests,
+    )
+    return Application(
+        name="particle-sort", kernels=[spec], flat_items=int(particles.sum())
+    )
+
+
+def main() -> None:
+    app = build_app()
+    policies = [
+        NeverLaunchPolicy(),
+        AlwaysLaunchPolicy(),
+        StaticThresholdPolicy(256),
+        SpawnPolicy(),
+        DTBLPolicy(THRESHOLD),
+    ]
+    rows = []
+    for policy in policies:
+        result = GPUSimulator(policy=policy).run(app)
+        rows.append(
+            (
+                policy.name,
+                int(result.makespan),
+                result.stats.child_kernels_launched,
+                f"{100 * result.stats.offload_fraction:.0f}%",
+                f"{100 * result.stats.smx_occupancy:.1f}%",
+            )
+        )
+    print(
+        format_table(
+            ["policy", "makespan", "child kernels", "offloaded", "occupancy"],
+            rows,
+            title="particle-sort: launch policy comparison",
+        )
+    )
+
+    # Stream assignment matters too: serializing all of a parent CTA's
+    # children on one SWQ (CUDA's default) throttles concurrency (Fig. 8).
+    serialized = GPUSimulator(
+        policy=AlwaysLaunchPolicy(), stream_policy=PerParentCTAStream()
+    ).run(app)
+    concurrent = GPUSimulator(policy=AlwaysLaunchPolicy()).run(app)
+    print()
+    print(
+        f"per-child streams: {concurrent.makespan:.0f} cycles vs "
+        f"per-parent-CTA streams: {serialized.makespan:.0f} cycles "
+        f"({serialized.makespan / concurrent.makespan:.2f}x slower serialized)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    The Table I benchmark inventory.
+``config``
+    The simulated GPU configuration (Table II).
+``run BENCHMARK --scheme SCHEME``
+    Simulate one benchmark under one scheme and print its summary metrics.
+``sweep BENCHMARK``
+    The Fig. 5 threshold sweep for one benchmark.
+``experiment ID``
+    Regenerate one paper table/figure (``all`` runs everything).
+
+Examples
+--------
+::
+
+    python -m repro run BFS-graph500 --scheme spawn
+    python -m repro sweep SSSP-citation
+    python -m repro experiment fig15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.harness.report import format_table
+from repro.harness.runner import RunConfig, Runner
+from repro.harness.sweep import threshold_sweep
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPAWN (HPCA 2017) reproduction: simulator, benchmarks, experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table I benchmarks")
+    sub.add_parser("config", help="print the simulated GPU configuration (Table II)")
+
+    run = sub.add_parser("run", help="run one benchmark under one scheme")
+    run.add_argument("benchmark", help="benchmark name, e.g. BFS-graph500")
+    run.add_argument(
+        "--scheme",
+        default="spawn",
+        help="flat | baseline-dp | spawn | dtbl | threshold:<T> (default: spawn)",
+    )
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--cta-threads", type=int, default=None,
+                     help="child CTA size override (Fig. 7)")
+    run.add_argument("--stream-policy", default="per-child",
+                     choices=["per-child", "per-parent-cta"])
+
+    sweep = sub.add_parser("sweep", help="threshold sweep (Fig. 5 panel)")
+    sweep.add_argument("benchmark")
+    sweep.add_argument("--seed", type=int, default=1)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("id", help="table1, table2, fig01..fig21, or 'all'")
+    exp.add_argument("--seed", type=int, default=1)
+
+    plot = sub.add_parser(
+        "plot", help="ASCII concurrency timeline for one run (Fig. 6/19 style)"
+    )
+    plot.add_argument("benchmark")
+    plot.add_argument("--scheme", default="baseline-dp")
+    plot.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def cmd_list(out) -> int:
+    from repro.experiments import tables
+
+    print(tables.run_table1().table(), file=out)
+    return 0
+
+
+def cmd_config(out) -> int:
+    from repro.experiments import tables
+
+    print(tables.run_table2().table(), file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    runner = Runner()
+    config = RunConfig(
+        benchmark=args.benchmark,
+        scheme=args.scheme,
+        seed=args.seed,
+        cta_threads=args.cta_threads,
+        stream_policy=args.stream_policy,
+    )
+    result = runner.run(config)
+    rows = [(key, value) for key, value in result.summary().items()]
+    if args.scheme != "flat":
+        rows.append(("speedup_vs_flat", runner.speedup(args.benchmark, args.scheme,
+                                                       seed=args.seed)))
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.benchmark} / {args.scheme} (seed {args.seed})",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    runner = Runner()
+    sweep = threshold_sweep(runner, args.benchmark, seed=args.seed)
+    best = sweep.best()
+    rows = [
+        (
+            p.threshold,
+            f"{100 * p.offload_fraction:.0f}%",
+            round(p.speedup_over_flat, 3),
+            p.child_kernels,
+            "*" if p is best else "",
+        )
+        for p in sweep.points
+    ]
+    print(
+        format_table(
+            ["THRESHOLD", "offloaded", "speedup vs flat", "child kernels", "best"],
+            rows,
+            title=f"{args.benchmark}: threshold sweep (seed {args.seed})",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_experiment(args, out) -> int:
+    from repro.experiments import ALL_EXPERIMENTS, EXTRA_EXPERIMENTS, run_all
+
+    if args.id == "all":
+        for result in run_all(seed=args.seed):
+            print(result.table(), file=out)
+            print(file=out)
+        return 0
+    entry = ALL_EXPERIMENTS.get(args.id) or EXTRA_EXPERIMENTS.get(args.id)
+    if entry is None:
+        known = ", ".join([*ALL_EXPERIMENTS, *EXTRA_EXPERIMENTS])
+        print(f"unknown experiment {args.id!r}; known: {known}, all", file=sys.stderr)
+        return 2
+    print(entry(Runner(), args.seed).table(), file=out)
+    return 0
+
+
+def cmd_plot(args, out) -> int:
+    from repro.harness.plotting import timeline
+
+    runner = Runner()
+    result = runner.run(
+        RunConfig(benchmark=args.benchmark, scheme=args.scheme, seed=args.seed)
+    )
+    trace = result.stats.trace
+    print(
+        timeline(
+            [(s.time, s.total_ctas) for s in trace],
+            title=f"{args.benchmark} / {args.scheme}: concurrent CTAs over time",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(
+        timeline(
+            [(s.time, s.utilization) for s in trace],
+            title="resource utilization over time",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return cmd_list(out)
+        if args.command == "config":
+            return cmd_config(out)
+        if args.command == "run":
+            return cmd_run(args, out)
+        if args.command == "sweep":
+            return cmd_sweep(args, out)
+        if args.command == "experiment":
+            return cmd_experiment(args, out)
+        if args.command == "plot":
+            return cmd_plot(args, out)
+        raise AssertionError(f"unhandled command {args.command}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,34 @@
+"""The paper's contribution: CCQS, monitored metrics, SPAWN, policies."""
+
+from repro.core.ccqs import CCQS
+from repro.core.controller import DecisionTrace, SpawnController
+from repro.core.metrics import MetricsMonitor, RunningMean, WindowedConcurrencyAverage
+from repro.core.policies import (
+    AlwaysLaunchPolicy,
+    DecisionKind,
+    DTBLPolicy,
+    FreeLaunchPolicy,
+    LaunchPolicy,
+    LaunchRequest,
+    NeverLaunchPolicy,
+    SpawnPolicy,
+    StaticThresholdPolicy,
+)
+
+__all__ = [
+    "AlwaysLaunchPolicy",
+    "CCQS",
+    "DecisionKind",
+    "DecisionTrace",
+    "DTBLPolicy",
+    "FreeLaunchPolicy",
+    "LaunchPolicy",
+    "LaunchRequest",
+    "MetricsMonitor",
+    "NeverLaunchPolicy",
+    "RunningMean",
+    "SpawnController",
+    "SpawnPolicy",
+    "StaticThresholdPolicy",
+    "WindowedConcurrencyAverage",
+]

@@ -1,0 +1,59 @@
+"""Child CTA Queuing System (CCQS) model — Section IV-A, Figure 11.
+
+CCQS abstracts the GMU as a FCFS queue of child CTAs ("jobs") and the SMXs
+as a server.  Its throughput is ``T = n_con / t_cta`` (average concurrent
+child CTAs over average child CTA execution time), so a new kernel with
+``x`` CTAs arriving when ``n`` CTAs are already in the system is estimated
+to finish after ``(n + x) / T`` cycles of queuing plus service.
+
+The class wraps a :class:`~repro.core.metrics.MetricsMonitor` and adds the
+capacity bound (65,536 pending child CTAs on Kepler) that Algorithm 1
+checks before admitting a launch.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import MetricsMonitor
+from repro.errors import ConfigError
+
+
+class CCQS:
+    """Queue-plus-server estimate of child-kernel completion time."""
+
+    def __init__(self, metrics: MetricsMonitor, *, max_queue_size: int = 65536):
+        if max_queue_size <= 0:
+            raise ConfigError("CCQS max_queue_size must be positive")
+        self.metrics = metrics
+        self.max_queue_size = max_queue_size
+
+    @property
+    def n(self) -> int:
+        """Jobs (child CTAs) currently in the system."""
+        return self.metrics.n
+
+    def has_capacity(self, x: int) -> bool:
+        """Can ``x`` more CTAs be admitted without exceeding the queue bound?"""
+        return self.n + x <= self.max_queue_size
+
+    def throughput(self) -> float:
+        """CTAs retired per cycle; 0.0 while no child CTA has completed."""
+        tcta = self.metrics.tcta
+        if tcta <= 0:
+            return 0.0
+        ncon = max(self.metrics.ncon, 1)
+        return ncon / tcta
+
+    def estimated_drain_time(self, x: int) -> float:
+        """``(n + x) / T`` — queuing latency plus service time (Equation 1).
+
+        Returns 0.0 while the system has no throughput estimate yet (the
+        Algorithm 1 bootstrap path launches unconditionally in that case).
+        """
+        t = self.throughput()
+        if t <= 0:
+            return 0.0
+        return (self.n + x) / t
+
+    def admit(self, x: int) -> None:
+        """Record ``x`` CTAs entering the system (Algorithm 1, line 8)."""
+        self.metrics.on_ctas_admitted(x)

@@ -1,0 +1,175 @@
+"""Launch policies: who decides whether a child kernel launch goes ahead.
+
+The simulator routes every device-side launch call through a
+:class:`LaunchPolicy`.  The schemes of the paper's evaluation map onto
+policies as follows:
+
+* **Baseline-DP** — :class:`StaticThresholdPolicy` at the application's
+  native THRESHOLD (launch whenever the local workload exceeds it);
+* **Offline-Search** — the best-performing :class:`StaticThresholdPolicy`
+  over an exhaustive threshold sweep (done by the harness);
+* **SPAWN** — :class:`SpawnPolicy`, Algorithm 1 over live CCQS metrics;
+* **DTBL** (Wang et al., ISCA'15) — :class:`DTBLPolicy`: the child's CTAs
+  are coalesced onto an already-running aggregated kernel, paying no
+  per-kernel launch overhead and consuming no HWQ, but still queuing
+  against the CTA concurrency limit;
+* the **flat** scheme does not use a policy at all (the application has no
+  child requests).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.core.ccqs import CCQS
+from repro.core.controller import SpawnController
+from repro.core.metrics import MetricsMonitor
+from repro.errors import ConfigError
+from repro.sim.config import GPUConfig
+
+
+class DecisionKind(enum.Enum):
+    LAUNCH = "launch"  # real device-side kernel launch (pays A*x + b)
+    SERIAL = "serial"  # parent thread loops over the workload itself
+    COALESCE = "coalesce"  # DTBL: CTAs appended to an aggregated kernel
+    REUSE = "reuse"  # Free Launch: work spread over the parent CTA's threads
+
+
+@dataclass(frozen=True)
+class LaunchRequest:
+    """One thread's launch call, as seen by the policy."""
+
+    time: float
+    items: int  # the thread's local workload
+    num_ctas: int  # x: CTAs the child kernel would have
+    items_per_thread: int
+    depth: int  # nesting depth of the would-be child
+
+
+class LaunchPolicy(abc.ABC):
+    """Decides the fate of each launch request during a run."""
+
+    name: str = "abstract"
+
+    def bind(self, metrics: MetricsMonitor, config: GPUConfig) -> None:
+        """Called by the engine before a run; default needs nothing."""
+
+    @abc.abstractmethod
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        """Classify one launch request."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class AlwaysLaunchPolicy(LaunchPolicy):
+    """Launch every child request — the most aggressive DP behaviour."""
+
+    name = "always-launch"
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        return DecisionKind.LAUNCH
+
+
+class NeverLaunchPolicy(LaunchPolicy):
+    """Decline everything: the DP source runs like its flat variant."""
+
+    name = "never-launch"
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        return DecisionKind.SERIAL
+
+
+class StaticThresholdPolicy(LaunchPolicy):
+    """Launch iff the thread's local workload exceeds a fixed THRESHOLD.
+
+    This is exactly the programmer-visible knob of Section II-B; sweeping it
+    produces the x-axis of Fig. 5 and its best point is Offline-Search.
+    """
+
+    def __init__(self, threshold: int):
+        if threshold < 0:
+            raise ConfigError("threshold must be non-negative")
+        self.threshold = threshold
+        self.name = f"threshold-{threshold}"
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        if request.items > self.threshold:
+            return DecisionKind.LAUNCH
+        return DecisionKind.SERIAL
+
+
+class SpawnPolicy(LaunchPolicy):
+    """The paper's contribution: Algorithm 1 over live CCQS metrics."""
+
+    name = "spawn"
+
+    def __init__(self, *, max_queue_size: int = 65536, keep_trace: bool = False):
+        self.max_queue_size = max_queue_size
+        self.keep_trace = keep_trace
+        self.controller: SpawnController | None = None
+
+    def bind(self, metrics: MetricsMonitor, config: GPUConfig) -> None:
+        ccqs = CCQS(metrics, max_queue_size=self.max_queue_size)
+        self.controller = SpawnController(
+            ccqs=ccqs,
+            launch_overhead_cycles=float(config.launch.latency(1)),
+            keep_trace=self.keep_trace,
+            # The engine admits launched CTAs to the shared metrics monitor
+            # for every policy; avoid double-counting n here.
+            auto_admit=False,
+        )
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        if self.controller is None:
+            raise ConfigError("SpawnPolicy used before bind()")
+        launch = self.controller.decide(
+            time=request.time,
+            num_ctas=request.num_ctas,
+            workload_items=request.items,
+        )
+        return DecisionKind.LAUNCH if launch else DecisionKind.SERIAL
+
+
+class FreeLaunchPolicy(LaunchPolicy):
+    """Free Launch (Chen & Shen, MICRO'15): child launches become thread reuse.
+
+    The compiler transformation replaces every child kernel launch with code
+    that distributes the child's work across the already-running parent
+    threads: no launch overhead, no new CTAs, but the work competes for the
+    parent kernel's own occupancy.  Cited by the paper as the prior
+    software-only answer to launch overhead.
+    """
+
+    def __init__(self, threshold: int = 0):
+        if threshold < 0:
+            raise ConfigError("threshold must be non-negative")
+        self.threshold = threshold
+        self.name = f"free-launch-{threshold}"
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        if request.items > self.threshold:
+            return DecisionKind.REUSE
+        return DecisionKind.SERIAL
+
+
+class DTBLPolicy(LaunchPolicy):
+    """Dynamic Thread Block Launch: coalesce child CTAs, skip kernel launch.
+
+    DTBL requires the coalesced CTAs to match a running kernel's function
+    and dimensions; within one application's child kernels that holds, so
+    every request above the application THRESHOLD coalesces.
+    """
+
+    def __init__(self, threshold: int):
+        if threshold < 0:
+            raise ConfigError("threshold must be non-negative")
+        self.threshold = threshold
+        self.name = f"dtbl-{threshold}"
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        if request.items > self.threshold:
+            return DecisionKind.COALESCE
+        return DecisionKind.SERIAL

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the SPAWN reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator, runtime, or harness with one
+``except`` clause while still distinguishing configuration problems from
+simulation-time invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent (e.g. zero SMXs)."""
+
+
+class ResourceError(ReproError):
+    """A kernel requests more resources than a single SMX can ever provide."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the event-driven simulator was violated."""
+
+
+class LaunchError(ReproError):
+    """A device-side kernel launch was malformed (e.g. empty grid)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given invalid parameters."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness was misconfigured (unknown scheme/benchmark)."""

@@ -1,0 +1,58 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment module exposes ``run(runner=None, seed=1) -> ExperimentResult``.
+An :class:`ExperimentResult` carries the same rows/series the paper's table
+or figure reports, renders as an aligned ASCII table, and keeps the raw data
+available for tests and benchmarks.
+
+Experiments share a :class:`~repro.harness.runner.Runner`; passing one in
+lets a session reuse cached simulation results across figures (Fig. 15, 16,
+17, and 18 all derive from the same three runs per benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.report import format_table
+from repro.harness.runner import Runner
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one reproduced table or figure."""
+
+    experiment: str  # e.g. "fig15"
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def table(self) -> str:
+        text = format_table(self.headers, self.rows, title=f"{self.experiment}: {self.title}")
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+    def row_dict(self, key_column: int = 0) -> Dict[object, Sequence[object]]:
+        """Index rows by one column (usually the benchmark name)."""
+        return {row[key_column]: row for row in self.rows}
+
+
+def ensure_runner(runner: Optional[Runner]) -> Runner:
+    return runner if runner is not None else Runner()
+
+
+#: Benchmarks the paper's deep-dive figures use.
+DEEP_DIVE_BENCHMARK = "BFS-graph500"
+FIG12_BENCHMARKS = ("MM-small", "SA-thaliana", "BFS-graph500", "SSSP-graph500")
+FIG21_PAIRS = (
+    ("SA", "SA-thaliana"),
+    ("SA", "SA-elegans"),
+    ("MM", "MM-small"),
+    ("MM", "MM-large"),
+    ("SSSP", "SSSP-citation"),
+    ("SSSP", "SSSP-graph500"),
+)

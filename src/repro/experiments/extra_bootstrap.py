@@ -1,0 +1,84 @@
+"""Extension experiment: how Algorithm 1's bootstrap costs SPAWN.
+
+EXPERIMENTS.md attributes SPAWN's gap to Offline-Search at our workload
+scale to the bootstrap path: until the first child CTA completes
+(>= ``b`` = 20,210 cycles after the first launch call), the controller has
+no throughput estimate and launches unconditionally.  This study scales the
+fixed launch latency ``b`` and measures SPAWN's speedup over flat next to
+Offline-Search's: as ``b`` shrinks, feedback arrives earlier, fewer
+decisions fall in the blind window, and SPAWN closes on (or passes) the
+static optimum — evidence that the gap is a scale artifact rather than a
+flaw in the reproduction of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.policies import SpawnPolicy, StaticThresholdPolicy
+from repro.experiments.common import ExperimentResult, ensure_runner
+from repro.harness.runner import Runner
+from repro.harness.sweep import offline_search
+from repro.sim.config import GPUConfig, LaunchOverheadConfig
+from repro.sim.engine import GPUSimulator
+from repro.workloads import get_benchmark
+
+DEFAULT_BENCHMARKS = ("BFS-graph500", "SSSP-citation", "GC-graph500")
+BASE_SCALES = (1.0, 0.25, 0.05)
+
+
+def run(
+    runner: Optional[Runner] = None,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+    scales: Sequence[float] = BASE_SCALES,
+) -> ExperimentResult:
+    runner = ensure_runner(runner)
+    rows = []
+    for name in benchmarks or DEFAULT_BENCHMARKS:
+        bench = get_benchmark(name)
+        best_threshold, _ = offline_search(runner, name, seed=seed)
+        for scale in scales:
+            config = GPUConfig(
+                launch=LaunchOverheadConfig(
+                    slope_cycles=1721,
+                    base_cycles=max(1, int(20210 * scale)),
+                )
+            )
+            flat = GPUSimulator(config=config).run(bench.flat(seed))
+            offline = GPUSimulator(
+                config=config, policy=StaticThresholdPolicy(best_threshold)
+            ).run(bench.dp(seed))
+            spawn = GPUSimulator(config=config, policy=SpawnPolicy()).run(
+                bench.dp(seed)
+            )
+            off_speedup = flat.makespan / offline.makespan
+            spawn_speedup = flat.makespan / spawn.makespan
+            rows.append(
+                (
+                    name,
+                    int(20210 * scale),
+                    round(off_speedup, 3),
+                    round(spawn_speedup, 3),
+                    round(spawn_speedup / off_speedup, 3),
+                )
+            )
+    return ExperimentResult(
+        experiment="extra-bootstrap",
+        title="SPAWN vs Offline-Search as the fixed launch latency b shrinks",
+        headers=[
+            "benchmark",
+            "b (cycles)",
+            "Offline-Search",
+            "SPAWN",
+            "SPAWN / Offline",
+        ],
+        notes=(
+            "smaller b -> earlier metric feedback -> fewer blind bootstrap "
+            "decisions; measured: the SPAWN/Offline ratio rises to ~1 on "
+            "SSSP-citation and GC-graph500 (feedback delay explains the gap "
+            "there), while on BFS-graph500 cheap launches make aggressive "
+            "offloading dominate and throttling stays behind"
+        ),
+        rows=rows,
+    )

@@ -1,0 +1,73 @@
+"""Extension experiment (beyond the paper): the full policy matrix.
+
+The paper compares SPAWN against Baseline-DP, Offline-Search, and DTBL.
+This extension runs *every* launch-handling mechanism the library models —
+including Free Launch (Chen & Shen, MICRO'15), which the paper discusses in
+related work but does not evaluate — across the Table I benchmarks, giving
+one table that situates all five mechanisms at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.policies import FreeLaunchPolicy
+from repro.experiments.common import ExperimentResult, ensure_runner
+from repro.harness.runner import RunConfig, Runner, geometric_mean
+from repro.sim.engine import GPUSimulator
+from repro.workloads import TABLE1_NAMES, get_benchmark
+
+SCHEMES = ("baseline-dp", "spawn", "dtbl")
+
+
+def run(
+    runner: Optional[Runner] = None,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    runner = ensure_runner(runner)
+    rows = []
+    columns = {name: [] for name in (*SCHEMES, "free-launch")}
+    for name in benchmarks or TABLE1_NAMES:
+        flat = runner.run(RunConfig(benchmark=name, scheme="flat", seed=seed))
+        speedups = []
+        for scheme in SCHEMES:
+            result = runner.run(RunConfig(benchmark=name, scheme=scheme, seed=seed))
+            speedups.append(flat.makespan / result.makespan)
+            columns[scheme].append(speedups[-1])
+        # Free Launch is not a Runner scheme (it is an extension); run it
+        # directly against the same DP application.
+        bench = get_benchmark(name)
+        free = GPUSimulator(
+            config=runner.config,
+            policy=FreeLaunchPolicy(bench.default_threshold),
+            max_events=runner.max_events,
+        ).run(bench.dp(seed))
+        free_speedup = flat.makespan / free.makespan
+        columns["free-launch"].append(free_speedup)
+        rows.append(
+            (
+                name,
+                round(speedups[0], 3),
+                round(speedups[1], 3),
+                round(speedups[2], 3),
+                round(free_speedup, 3),
+            )
+        )
+    rows.append(
+        (
+            "GEOMEAN",
+            *(round(geometric_mean(columns[c]), 3)
+              for c in (*SCHEMES, "free-launch")),
+        )
+    )
+    return ExperimentResult(
+        experiment="extra-policy-matrix",
+        title="All launch-handling mechanisms, speedup over flat",
+        headers=["benchmark", "Baseline-DP", "SPAWN", "DTBL", "Free Launch"],
+        rows=rows,
+        notes=(
+            "extension beyond the paper: Free Launch (thread reuse) and DTBL "
+            "(CTA coalescing) bracket SPAWN's throttling approach"
+        ),
+    )

@@ -1,0 +1,57 @@
+"""Fig. 16: SMX occupancy under the three schemes.
+
+SMX occupancy = average active warps per cycle over the warp capacity.  The
+paper reports SPAWN at 1.96x the Baseline-DP occupancy and within 4% of
+Offline-Search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, ensure_runner
+from repro.harness.runner import RunConfig, Runner, geometric_mean
+from repro.harness.sweep import offline_search
+from repro.workloads import TABLE1_NAMES
+
+
+def run(
+    runner: Optional[Runner] = None,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    runner = ensure_runner(runner)
+    rows = []
+    ratios = []
+    for name in benchmarks or TABLE1_NAMES:
+        base = runner.run(RunConfig(benchmark=name, scheme="baseline-dp", seed=seed))
+        _, offline = offline_search(runner, name, seed=seed)
+        spawn = runner.run(RunConfig(benchmark=name, scheme="spawn", seed=seed))
+        occ = (
+            base.stats.smx_occupancy,
+            offline.stats.smx_occupancy,
+            spawn.stats.smx_occupancy,
+        )
+        if occ[0] > 0 and occ[2] > 0:
+            ratios.append(occ[2] / occ[0])
+        rows.append(
+            (
+                name,
+                f"{100 * occ[0]:.1f}%",
+                f"{100 * occ[1]:.1f}%",
+                f"{100 * occ[2]:.1f}%",
+            )
+        )
+    note = ""
+    if ratios:
+        note = (
+            f"SPAWN occupancy over Baseline-DP (geomean): "
+            f"{geometric_mean(ratios):.2f}x (paper: 1.96x)"
+        )
+    return ExperimentResult(
+        experiment="fig16",
+        title="SMX occupancy",
+        headers=["benchmark", "Baseline-DP", "Offline-Search", "SPAWN"],
+        rows=rows,
+        notes=note,
+    )

@@ -1,0 +1,45 @@
+"""Fig. 18: number of child kernels launched under the three schemes.
+
+SPAWN's throttling cuts the launched-kernel count substantially (73% on
+average in the paper), which is where the launch-overhead and
+queuing-latency savings come from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, ensure_runner
+from repro.harness.runner import RunConfig, Runner
+from repro.harness.sweep import offline_search
+from repro.workloads import TABLE1_NAMES
+
+
+def run(
+    runner: Optional[Runner] = None,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    runner = ensure_runner(runner)
+    rows = []
+    reductions = []
+    for name in benchmarks or TABLE1_NAMES:
+        base = runner.run(RunConfig(benchmark=name, scheme="baseline-dp", seed=seed))
+        _, offline = offline_search(runner, name, seed=seed)
+        spawn = runner.run(RunConfig(benchmark=name, scheme="spawn", seed=seed))
+        counts = (
+            base.stats.child_kernels_launched,
+            offline.stats.child_kernels_launched,
+            spawn.stats.child_kernels_launched,
+        )
+        if counts[0]:
+            reductions.append(1.0 - counts[2] / counts[0])
+        rows.append((name, *counts))
+    avg_red = 100 * sum(reductions) / len(reductions) if reductions else 0.0
+    return ExperimentResult(
+        experiment="fig18",
+        title="Number of child kernels launched",
+        headers=["benchmark", "Baseline-DP", "Offline-Search", "SPAWN"],
+        rows=rows,
+        notes=f"mean SPAWN reduction vs Baseline-DP: {avg_red:.0f}% (paper: 73%)",
+    )

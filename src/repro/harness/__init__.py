@@ -1,0 +1,52 @@
+"""Experiment harness: runners, schemes, sweeps, and report formatting."""
+
+from repro.harness.runner import RunConfig, Runner, geometric_mean
+from repro.harness.schemes import (
+    BASELINE_DP,
+    DP_SCHEMES,
+    DTBL,
+    FLAT,
+    OFFLINE,
+    SPAWN,
+    SchemeSpec,
+    make_policy,
+    parse_scheme,
+)
+from repro.harness.export import (
+    experiment_to_csv,
+    experiment_to_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.harness.plotting import bar_chart, sparkline, timeline
+from repro.harness.replication import ReplicationResult, SchemeStats, replicate
+from repro.harness.sweep import SweepPoint, SweepResult, offline_search, threshold_sweep
+
+__all__ = [
+    "BASELINE_DP",
+    "DP_SCHEMES",
+    "DTBL",
+    "FLAT",
+    "OFFLINE",
+    "SPAWN",
+    "RunConfig",
+    "Runner",
+    "SchemeSpec",
+    "SweepPoint",
+    "SweepResult",
+    "ReplicationResult",
+    "SchemeStats",
+    "bar_chart",
+    "experiment_to_csv",
+    "experiment_to_json",
+    "geometric_mean",
+    "make_policy",
+    "offline_search",
+    "parse_scheme",
+    "replicate",
+    "result_to_dict",
+    "result_to_json",
+    "sparkline",
+    "threshold_sweep",
+    "timeline",
+]

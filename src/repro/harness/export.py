@@ -1,0 +1,88 @@
+"""Export simulation results and experiment tables to JSON / CSV.
+
+The plotting side of a paper reproduction usually lives outside the
+simulator (notebooks, gnuplot, matplotlib); these helpers serialize
+everything those tools need: run summaries, concurrency timelines, launch
+CDFs, and the per-figure experiment tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import SimResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.common import ExperimentResult
+
+
+def result_to_dict(result: SimResult, *, include_traces: bool = True) -> Dict:
+    """Serializable snapshot of one simulation run."""
+    stats = result.stats
+    payload: Dict = {
+        "app": result.app_name,
+        "policy": result.policy_name,
+        "summary": stats.summary(),
+    }
+    if include_traces:
+        payload["trace"] = [
+            {
+                "time": sample.time,
+                "parent_ctas": sample.parent_ctas,
+                "child_ctas": sample.child_ctas,
+                "utilization": sample.utilization,
+            }
+            for sample in stats.trace
+        ]
+        payload["launch_cdf"] = stats.launch_cdf()
+        payload["child_cta_exec_times"] = list(stats.child_cta_exec_times)
+        payload["kernels"] = [
+            {
+                "kernel_id": rec.kernel_id,
+                "name": rec.name,
+                "is_child": rec.is_child,
+                "depth": rec.depth,
+                "num_ctas": rec.num_ctas,
+                "launch_call_time": rec.launch_call_time,
+                "arrival_time": rec.arrival_time,
+                "first_dispatch_time": rec.first_dispatch_time,
+                "completion_time": rec.completion_time,
+            }
+            for rec in stats.kernels.values()
+        ]
+    return payload
+
+
+def result_to_json(result: SimResult, **kwargs) -> str:
+    """JSON document for one simulation run."""
+    return json.dumps(result_to_dict(result, **kwargs), indent=2)
+
+
+def experiment_to_csv(experiment: "ExperimentResult") -> str:
+    """CSV rendering of one reproduced table/figure."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(experiment.headers)
+    for row in experiment.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def experiment_to_dict(experiment: "ExperimentResult") -> Dict:
+    """Serializable snapshot of one reproduced table/figure."""
+    return {
+        "experiment": experiment.experiment,
+        "title": experiment.title,
+        "headers": list(experiment.headers),
+        "rows": [list(row) for row in experiment.rows],
+        "notes": experiment.notes,
+    }
+
+
+def experiment_to_json(experiment: "ExperimentResult") -> str:
+    return json.dumps(experiment_to_dict(experiment), indent=2)

@@ -1,0 +1,57 @@
+"""Plain-text report formatting for the experiment harness.
+
+The experiments print the same rows/series the paper's tables and figures
+report; these helpers render them as aligned ASCII tables so benchmark
+output is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, pairs: Iterable[tuple], *, max_points: int = 20) -> str:
+    """Render an (x, y) series, down-sampled to ``max_points`` rows."""
+    points = list(pairs)
+    if len(points) > max_points:
+        step = len(points) / max_points
+        points = [points[int(i * step)] for i in range(max_points)] + [points[-1]]
+    lines = [f"series: {name}"]
+    for x, y in points:
+        lines.append(f"  {x:>14.1f}  {y}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,120 @@
+"""Benchmark runner with per-process result caching.
+
+Most experiments share runs (the Fig. 15 speedups, Fig. 16 occupancy,
+Fig. 17 L2 rates, and Fig. 18 kernel counts all come from the same three
+runs per benchmark), so results are memoized on
+``(benchmark, scheme, seed, cta_threads, stream_policy)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HarnessError
+from repro.harness import schemes as sch
+from repro.runtime.streams import PerChildStream, PerParentCTAStream
+from repro.sim.config import GPUConfig
+from repro.sim.engine import GPUSimulator, SimResult
+from repro.workloads.base import Benchmark, get_benchmark
+
+#: Stream policy names accepted by the runner.
+PER_CHILD = "per-child"
+PER_PARENT_CTA = "per-parent-cta"
+
+
+@dataclass
+class RunConfig:
+    """Everything that identifies one simulation run."""
+
+    benchmark: str
+    scheme: str
+    seed: int = 1
+    cta_threads: Optional[int] = None  # child CTA size override (Fig. 7)
+    stream_policy: str = PER_CHILD  # Fig. 8 compares per-parent-cta
+    trace_interval: float = 1000.0
+
+    def key(self) -> Tuple:
+        return (
+            self.benchmark,
+            self.scheme,
+            self.seed,
+            self.cta_threads,
+            self.stream_policy,
+        )
+
+
+class Runner:
+    """Runs benchmarks under schemes against one GPU configuration."""
+
+    def __init__(self, config: Optional[GPUConfig] = None, *, max_events: int = 50_000_000):
+        self.config = config or GPUConfig()
+        self.max_events = max_events
+        self._cache: Dict[Tuple, SimResult] = {}
+
+    def run(self, run_config: RunConfig) -> SimResult:
+        """Run (or fetch from cache) one benchmark/scheme combination."""
+        key = run_config.key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        benchmark = get_benchmark(run_config.benchmark)
+        spec = sch.parse_scheme(run_config.scheme)
+        if spec.name == sch.OFFLINE:
+            raise HarnessError(
+                "resolve 'offline' through harness.sweep.offline_search first"
+            )
+        if spec.variant == "flat":
+            app = benchmark.flat(run_config.seed)
+        else:
+            app = benchmark.dp(run_config.seed, cta_threads=run_config.cta_threads)
+        policy = sch.make_policy(spec, benchmark)
+        stream_policy = self._stream_policy(run_config.stream_policy)
+        sim = GPUSimulator(
+            config=self.config,
+            policy=policy,
+            stream_policy=stream_policy,
+            trace_interval=run_config.trace_interval,
+            max_events=self.max_events,
+        )
+        result = sim.run(app)
+        self._cache[key] = result
+        return result
+
+    def run_simple(self, benchmark: str, scheme: str, **kwargs) -> SimResult:
+        return self.run(RunConfig(benchmark=benchmark, scheme=scheme, **kwargs))
+
+    def speedup(self, benchmark: str, scheme: str, **kwargs) -> float:
+        """Speedup of ``scheme`` over the flat variant (the paper's metric)."""
+        flat = self.run(RunConfig(benchmark=benchmark, scheme=sch.FLAT, **kwargs))
+        other = self.run(RunConfig(benchmark=benchmark, scheme=scheme, **kwargs))
+        if other.makespan <= 0:
+            raise HarnessError(f"{benchmark}/{scheme}: zero makespan")
+        return flat.makespan / other.makespan
+
+    @staticmethod
+    def _stream_policy(name: str):
+        if name == PER_CHILD:
+            return PerChildStream()
+        if name == PER_PARENT_CTA:
+            return PerParentCTAStream()
+        raise HarnessError(f"unknown stream policy {name!r}")
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def geometric_mean(values) -> float:
+    """The paper's average-speedup aggregation."""
+    values = list(values)
+    if not values:
+        raise HarnessError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise HarnessError("geometric mean needs positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,80 @@
+"""Execution schemes: the paper's evaluated configurations.
+
+* ``flat``          — the non-DP implementation (normalization baseline);
+* ``baseline-dp``   — unrestricted DP at the application's native THRESHOLD;
+* ``threshold:<T>`` — DP with a static THRESHOLD of ``T`` (Fig. 5 sweeps);
+* ``offline``       — the best static threshold found by exhaustive sweep
+  (Offline-Search);
+* ``spawn``         — the paper's contribution;
+* ``dtbl``          — Dynamic Thread Block Launch (Wang et al.), Fig. 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policies import (
+    DTBLPolicy,
+    LaunchPolicy,
+    NeverLaunchPolicy,
+    SpawnPolicy,
+    StaticThresholdPolicy,
+)
+from repro.errors import HarnessError
+from repro.workloads.base import Benchmark
+
+FLAT = "flat"
+BASELINE_DP = "baseline-dp"
+OFFLINE = "offline"
+SPAWN = "spawn"
+DTBL = "dtbl"
+
+#: Schemes that run the DP variant of the application.
+DP_SCHEMES = (BASELINE_DP, OFFLINE, SPAWN, DTBL)
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Parsed scheme: which app variant to build and which policy to use."""
+
+    name: str
+    variant: str  # "flat" or "dp"
+    threshold: Optional[int] = None  # for threshold:<T>
+
+
+def parse_scheme(scheme: str) -> SchemeSpec:
+    """Parse a scheme string into a :class:`SchemeSpec`."""
+    if scheme == FLAT:
+        return SchemeSpec(FLAT, "flat")
+    if scheme in (BASELINE_DP, OFFLINE, SPAWN, DTBL):
+        return SchemeSpec(scheme, "dp")
+    if scheme.startswith("threshold:"):
+        try:
+            threshold = int(scheme.split(":", 1)[1])
+        except ValueError:
+            raise HarnessError(f"bad threshold scheme {scheme!r}") from None
+        if threshold < 0:
+            raise HarnessError(f"negative threshold in {scheme!r}")
+        return SchemeSpec(scheme, "dp", threshold=threshold)
+    raise HarnessError(f"unknown scheme {scheme!r}")
+
+
+def make_policy(spec: SchemeSpec, benchmark: Benchmark) -> LaunchPolicy:
+    """Instantiate the launch policy for one scheme run.
+
+    ``offline`` is resolved by the sweep module into a ``threshold:<T>``
+    scheme before reaching here.
+    """
+    if spec.name == FLAT:
+        # The flat app has no launch sites; NeverLaunch documents intent.
+        return NeverLaunchPolicy()
+    if spec.name == BASELINE_DP:
+        return StaticThresholdPolicy(benchmark.default_threshold)
+    if spec.name == SPAWN:
+        return SpawnPolicy()
+    if spec.name == DTBL:
+        return DTBLPolicy(benchmark.default_threshold)
+    if spec.threshold is not None:
+        return StaticThresholdPolicy(spec.threshold)
+    raise HarnessError(f"scheme {spec.name!r} has no direct policy")

@@ -1,0 +1,92 @@
+"""Threshold sweeps and Offline-Search (Section III-A / Fig. 5).
+
+Offline-Search is "the best workload distribution ratio [picked] by
+performing an exhaustive sweep of the THRESHOLD metric" — here: run every
+``threshold:<T>`` in the benchmark's sweep list plus the flat end point, and
+keep the fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.harness import schemes as sch
+from repro.harness.runner import RunConfig, Runner
+from repro.sim.engine import SimResult
+from repro.workloads.base import get_benchmark
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One static-threshold run of the Fig. 5 characterization."""
+
+    threshold: int
+    offload_fraction: float  # x-axis of Fig. 5
+    makespan: float
+    speedup_over_flat: float
+    child_kernels: int
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    benchmark: str
+    points: Tuple[SweepPoint, ...]
+
+    def best(self) -> SweepPoint:
+        return max(self.points, key=lambda p: p.speedup_over_flat)
+
+
+def threshold_sweep(
+    runner: Runner,
+    benchmark_name: str,
+    *,
+    seed: int = 1,
+    thresholds: Optional[Tuple[int, ...]] = None,
+) -> SweepResult:
+    """Run the benchmark at every static THRESHOLD (plus the flat bound)."""
+    benchmark = get_benchmark(benchmark_name)
+    sweep = thresholds if thresholds is not None else benchmark.sweep_thresholds
+    flat = runner.run(RunConfig(benchmark=benchmark_name, scheme=sch.FLAT, seed=seed))
+    points: List[SweepPoint] = []
+    for threshold in sweep:
+        result = runner.run(
+            RunConfig(
+                benchmark=benchmark_name,
+                scheme=f"threshold:{threshold}",
+                seed=seed,
+            )
+        )
+        points.append(_point(threshold, flat, result))
+    return SweepResult(benchmark=benchmark_name, points=tuple(points))
+
+
+def _point(threshold: int, flat: SimResult, result: SimResult) -> SweepPoint:
+    return SweepPoint(
+        threshold=threshold,
+        offload_fraction=result.stats.offload_fraction,
+        makespan=result.makespan,
+        speedup_over_flat=flat.makespan / result.makespan,
+        child_kernels=result.stats.child_kernels_launched,
+    )
+
+
+def offline_search(
+    runner: Runner, benchmark_name: str, *, seed: int = 1
+) -> Tuple[int, SimResult]:
+    """Best static threshold and its run (the paper's Offline-Search).
+
+    The flat implementation is *not* a candidate: Offline-Search picks the
+    best *DP* workload distribution; a benchmark that prefers ~0% offload
+    expresses that through a large THRESHOLD.
+    """
+    sweep = threshold_sweep(runner, benchmark_name, seed=seed)
+    best = sweep.best()
+    result = runner.run(
+        RunConfig(
+            benchmark=benchmark_name,
+            scheme=f"threshold:{best.threshold}",
+            seed=seed,
+        )
+    )
+    return best.threshold, result

@@ -1,0 +1,5 @@
+"""Device-runtime companions: stream (SWQ) assignment policies."""
+
+from repro.runtime.streams import PerChildStream, PerParentCTAStream, StreamPolicy
+
+__all__ = ["PerChildStream", "PerParentCTAStream", "StreamPolicy"]

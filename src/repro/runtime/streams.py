@@ -1,0 +1,63 @@
+"""Stream (SWQ) assignment for device-launched kernels — Section II-B.
+
+CUDA lets the parent thread create a ``c_stream`` per child (maximum
+concurrency) or fall back to the default behaviour where every child of a
+parent CTA shares one stream (and therefore serializes).  Fig. 8 compares
+the two; per-child streams always win, so the paper — and our default —
+uses :class:`PerChildStream`.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+
+
+class StreamPolicy(abc.ABC):
+    """Chooses the SWQ id for each device-side launch."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def stream_for(self, parent_kernel_id: int, parent_cta_index: int) -> int:
+        """SWQ id for a child launched from the given parent CTA."""
+
+    def reset(self) -> None:
+        """Forget any per-run state (called by the engine between runs)."""
+
+
+class PerChildStream(StreamPolicy):
+    """A fresh SWQ per child kernel: children never serialize on a stream."""
+
+    name = "per-child"
+
+    def __init__(self, *, first_id: int = 1_000_000):
+        self._first_id = first_id
+        self._counter = itertools.count(first_id)
+
+    def stream_for(self, parent_kernel_id: int, parent_cta_index: int) -> int:
+        return next(self._counter)
+
+    def reset(self) -> None:
+        self._counter = itertools.count(self._first_id)
+
+
+class PerParentCTAStream(StreamPolicy):
+    """One SWQ per parent CTA: its children execute sequentially.
+
+    This is CUDA's default when the application never creates streams
+    (Section II-B): "all the child kernels launched from the same parent
+    CTA execute sequentially".
+    """
+
+    name = "per-parent-cta"
+
+    def __init__(self, *, first_id: int = 1_000_000):
+        self._first_id = first_id
+
+    def stream_for(self, parent_kernel_id: int, parent_cta_index: int) -> int:
+        # Stable id derived from the parent CTA's identity.
+        return self._first_id + parent_kernel_id * 100_000 + parent_cta_index
+
+    def reset(self) -> None:  # stateless
+        return

@@ -1,0 +1,30 @@
+"""GPU simulator substrate: config, event engine, SMXs, GMU, memory.
+
+The engine itself (:class:`repro.sim.engine.GPUSimulator`) is re-exported
+from the top-level :mod:`repro` package; importing it here would create an
+import cycle with :mod:`repro.core.policies`.
+"""
+
+from repro.sim.config import (
+    WARP_SIZE,
+    CacheConfig,
+    GPUConfig,
+    LaunchOverheadConfig,
+    MemoryConfig,
+    kepler_k20m,
+    small_debug_gpu,
+)
+from repro.sim.kernel import Application, ChildRequest, KernelSpec
+
+__all__ = [
+    "Application",
+    "CacheConfig",
+    "ChildRequest",
+    "GPUConfig",
+    "KernelSpec",
+    "LaunchOverheadConfig",
+    "MemoryConfig",
+    "WARP_SIZE",
+    "kepler_k20m",
+    "small_debug_gpu",
+]

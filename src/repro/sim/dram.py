@@ -1,0 +1,70 @@
+"""Optional DRAM bandwidth model.
+
+Table II's memory system has 6 memory controllers (2 partitions each) with
+FR-FCFS queues.  Modeling individual transactions is out of scope for an
+approximate-cycle simulator, but the *first-order* effect of bounded DRAM
+bandwidth — miss latency inflating when the miss rate approaches the peak
+transfer rate — is captured here with an M/M/1-style congestion factor over
+a sliding utilization window:
+
+    latency_factor = 1 / (1 - min(utilization, cap))
+
+where utilization is (lines missed in the last window) / (window * peak).
+The model is disabled by default (``dram_peak_lines_per_cycle = None``);
+enable it to study bandwidth-bound workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.errors import ConfigError
+
+#: Utilization is clamped below 1.0 so the queueing factor stays finite.
+UTILIZATION_CAP = 0.95
+
+
+class DramBandwidthModel:
+    """Sliding-window DRAM utilization -> miss-latency inflation factor."""
+
+    def __init__(self, peak_lines_per_cycle: float, window_cycles: int):
+        if peak_lines_per_cycle <= 0:
+            raise ConfigError("peak_lines_per_cycle must be positive")
+        if window_cycles <= 0:
+            raise ConfigError("window_cycles must be positive")
+        self.peak = peak_lines_per_cycle
+        self.window = float(window_cycles)
+        self._events: Deque[Tuple[float, int]] = deque()  # (time, misses)
+        self._window_misses = 0
+        self.total_misses = 0
+        self.peak_utilization = 0.0
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        events = self._events
+        while events and events[0][0] < horizon:
+            _, misses = events.popleft()
+            self._window_misses -= misses
+
+    def utilization(self, now: float) -> float:
+        """Fraction of peak bandwidth consumed over the last window."""
+        self._expire(now)
+        capacity = self.window * self.peak
+        return min(self._window_misses / capacity, 1.0)
+
+    def record(self, now: float, misses: int) -> float:
+        """Account ``misses`` line transfers at ``now``; returns the factor.
+
+        The returned multiplier applies to the DRAM portion of the stall
+        for accesses issued at this instant.
+        """
+        if misses < 0:
+            raise ConfigError("misses must be non-negative")
+        if misses:
+            self._events.append((now, misses))
+            self._window_misses += misses
+            self.total_misses += misses
+        utilization = self.utilization(now)
+        self.peak_utilization = max(self.peak_utilization, utilization)
+        return 1.0 / (1.0 - min(utilization, UTILIZATION_CAP))

@@ -1,0 +1,599 @@
+"""The GPU simulator engine.
+
+Event-driven orchestration of the pieces in this package: root kernels enter
+the :class:`~repro.sim.gmu.GMU`, CTAs are dispatched round-robin onto
+processor-sharing :class:`~repro.sim.smx.SMX` units, device-side launch
+calls fire as the parent CTA's execution crosses each request's
+``at_fraction`` progress point, go through the active
+:class:`~repro.core.policies.LaunchPolicy`, and (if approved) pay the
+:class:`~repro.sim.launch.LaunchUnit`'s ``A*x + b`` latency before
+re-entering the GMU as child kernels.  Parent CTAs that finish computing
+while their children are alive relinquish SMX resources and wait — the
+device-synchronization semantics of Section II-C.
+
+Declined launches (SPAWN's throttling, or a static THRESHOLD) extend the
+launching warp's timeline by the serial fallback loop, exactly the
+work-redistribution effect the paper exploits; approved launches only add
+the header reads and the asynchronous API call cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.metrics import MetricsMonitor
+from repro.core.policies import (
+    AlwaysLaunchPolicy,
+    DecisionKind,
+    LaunchPolicy,
+    LaunchRequest,
+)
+from repro.errors import SimulationError
+from repro.runtime.streams import PerChildStream, StreamPolicy
+from repro.sim.config import WARP_SIZE, GPUConfig
+from repro.sim.events import Event, EventQueue
+from repro.sim.gmu import GMU
+from repro.sim.instances import (
+    CTAInstance,
+    CTAState,
+    KernelInstance,
+    KernelState,
+    PendingDecision,
+)
+from repro.sim.kernel import Application, ChildRequest, KernelSpec, spec_from_request
+from repro.sim.launch import LaunchUnit
+from repro.sim.memory import MemorySystem
+from repro.sim.smx import SMX
+from repro.sim.stats import SimStats
+
+
+class SimResult:
+    """Outcome of one simulated application run."""
+
+    def __init__(self, app_name: str, policy_name: str, stats: SimStats):
+        self.app_name = app_name
+        self.policy_name = policy_name
+        self.stats = stats
+
+    @property
+    def makespan(self) -> float:
+        return self.stats.makespan
+
+    def summary(self) -> Dict[str, float]:
+        return self.stats.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimResult({self.app_name!r}, policy={self.policy_name!r}, "
+            f"makespan={self.makespan:.0f})"
+        )
+
+
+class GPUSimulator:
+    """Runs one :class:`~repro.sim.kernel.Application` under one policy."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        policy: Optional[LaunchPolicy] = None,
+        stream_policy: Optional[StreamPolicy] = None,
+        *,
+        trace_interval: float = 1000.0,
+        max_events: int = 20_000_000,
+        api_call_cycles: float = 40.0,
+        cta_init_cycles: float = 50.0,
+        dtbl_coalesce_cycles: float = 150.0,
+        max_lines_per_cta: int = 4096,
+        latency_hiding: float = 0.35,
+    ):
+        self.config = config or GPUConfig()
+        self.policy = policy or AlwaysLaunchPolicy()
+        self.stream_policy = stream_policy or PerChildStream()
+        self.trace_interval = trace_interval
+        self.max_events = max_events
+        self.api_call_cycles = api_call_cycles
+        self.cta_init_cycles = cta_init_cycles
+        self.dtbl_coalesce_cycles = dtbl_coalesce_cycles
+        self.max_lines_per_cta = max_lines_per_cta
+        if not 0 < latency_hiding <= 1:
+            raise SimulationError("latency_hiding must be in (0, 1]")
+        self.latency_hiding = latency_hiding
+        # Per-run state, created in _reset().
+        self.queue: EventQueue
+        self.smxs: List[SMX]
+        self.gmu: GMU
+        self.launch_unit: LaunchUnit
+        self.memory: MemorySystem
+        self.metrics: MetricsMonitor
+        self.stats: SimStats
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+    def run(self, app: Application) -> SimResult:
+        app.validate(self.config)
+        self._reset()
+        self._app = app
+        self._host_index = 0
+        self._submit_next_root()
+        self.queue.run(self.max_events)
+        if self._unfinished_kernels:
+            raise SimulationError(
+                f"simulation drained with {self._unfinished_kernels} kernels "
+                "unfinished (deadlock in the modelled system)"
+            )
+        self.stats.finalize(self._last_completion)
+        self.stats.l2_hits = self.memory.l2.hits
+        self.stats.l2_misses = self.memory.l2.misses
+        return SimResult(app.name, self.policy.describe(), self.stats)
+
+    def _reset(self) -> None:
+        cfg = self.config
+        self.queue = EventQueue()
+        self.smxs = [SMX(i, cfg) for i in range(cfg.num_smx)]
+        self.gmu = GMU(cfg)
+        self.launch_unit = LaunchUnit(cfg.launch, self.queue, self._on_kernel_arrival)
+        self.memory = MemorySystem(
+            cfg.memory,
+            max_lines_per_cta=self.max_lines_per_cta,
+            num_smx=cfg.num_smx,
+        )
+        self.metrics = MetricsMonitor(window_cycles=cfg.metric_window_cycles)
+        self.stats = SimStats(trace_interval=self.trace_interval)
+        self.stats.set_capacity(
+            warps=cfg.max_warps_per_smx * cfg.num_smx,
+            regs=cfg.registers_per_smx * cfg.num_smx,
+            shmem=cfg.shared_mem_per_smx * cfg.num_smx,
+        )
+        self.stream_policy.reset()
+        self.policy.bind(self.metrics, cfg)
+        self._kernel_ids = itertools.count()
+        self._smx_events: List[Optional[Event]] = [None] * cfg.num_smx
+        self._smx_rr = 0
+        self._dtbl_pending: Deque[KernelInstance] = deque()
+        self._unfinished_kernels = 0
+        self._last_completion = 0.0
+        self._res_parent_ctas = 0
+        self._res_child_ctas = 0
+        self._res_warps = 0
+        self._res_regs = 0
+        self._res_shmem = 0
+        self._dispatching = False
+        self._failed_shapes: set = set()
+
+    def _submit_next_root(self) -> None:
+        spec = self._app.kernels[self._host_index]
+        kernel = KernelInstance(
+            next(self._kernel_ids), spec, stream_id=self._host_index, is_child=False
+        )
+        kernel.record.launch_call_time = self.queue.now
+        self._unfinished_kernels += 1
+        self._on_kernel_arrival(kernel)
+
+    # ------------------------------------------------------------------
+    # Kernel arrival and dispatch
+    # ------------------------------------------------------------------
+    def _on_kernel_arrival(self, kernel: KernelInstance) -> None:
+        kernel.record.arrival_time = self.queue.now
+        self.stats.kernels[kernel.kernel_id] = kernel.record
+        self.gmu.submit(kernel)
+        self._dispatch()
+
+    def _on_dtbl_arrival(self, kernel: KernelInstance) -> None:
+        kernel.record.arrival_time = self.queue.now
+        kernel.state = KernelState.EXECUTING
+        kernel.via_dtbl = True
+        self.stats.kernels[kernel.kernel_id] = kernel.record
+        self._dtbl_pending.append(kernel)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Place as many CTAs as resources allow (RR over kernels and SMXs)."""
+        if self._dispatching:
+            # Nested completion notifications re-enter here; the outer loop
+            # picks up any newly dispatchable work.
+            return
+        self._dispatching = True
+        # Within one dispatch pass resources only shrink, so a CTA shape
+        # that failed to fit once cannot fit later in the same pass.
+        self._failed_shapes: set = set()
+        try:
+            while self._dispatch_round():
+                pass
+        finally:
+            self._dispatching = False
+
+    def _dispatch_round(self) -> bool:
+        max_ctas = self.config.max_ctas_per_smx
+        free_slots = sum(max_ctas - len(s.resident) for s in self.smxs)
+        if free_slots == 0:
+            return False
+        placed = False
+        for kernel in self.gmu.dispatchable_kernels():
+            if self._place_cta_of(kernel):
+                placed = True
+                free_slots -= 1
+                if free_slots == 0:
+                    return placed
+        while self._dtbl_pending:
+            head = self._dtbl_pending[0]
+            if not head.has_undispatched_ctas:
+                self._dtbl_pending.popleft()
+                continue
+            if not self._place_cta_of(head):
+                break
+            placed = True
+        return placed
+
+    def _place_cta_of(self, kernel: KernelInstance) -> bool:
+        spec = kernel.spec
+        shape = (
+            spec.threads_per_cta,
+            spec.threads_per_cta * spec.regs_per_thread,
+            spec.shmem_per_cta,
+        )
+        if shape in self._failed_shapes:
+            return False
+        smx = self._find_smx(threads=shape[0], regs=shape[1], shmem=shape[2])
+        if smx is None:
+            self._failed_shapes.add(shape)
+            return False
+        self._dispatch_cta(kernel, smx)
+        return True
+
+    def _find_smx(self, *, threads: int, regs: int, shmem: int) -> Optional[SMX]:
+        n = len(self.smxs)
+        max_ctas = self.config.max_ctas_per_smx
+        for offset in range(n):
+            smx = self.smxs[(self._smx_rr + offset) % n]
+            if len(smx.resident) >= max_ctas:
+                continue
+            if smx.can_fit(threads=threads, regs=regs, shmem=shmem):
+                self._smx_rr = (self._smx_rr + offset + 1) % n
+                return smx
+        return None
+
+    # ------------------------------------------------------------------
+    # CTA dispatch: footprint, timing, decision points
+    # ------------------------------------------------------------------
+    def _dispatch_cta(self, kernel: KernelInstance, smx: SMX) -> None:
+        now = self.queue.now
+        spec = kernel.spec
+        cta_index = kernel.take_next_cta_index()
+        threads = spec.cta_thread_range(cta_index)
+        start, stop = threads.start, threads.stop
+        if kernel.record.first_dispatch_time is None:
+            kernel.record.first_dispatch_time = now
+
+        items = spec.thread_items[start:stop]
+        # Memory footprint of the CTA's unconditional work.
+        if spec.mem_bases is None:
+            stall = self.memory.stall_cycles(1.0)
+        elif spec.contiguous_footprint:
+            base = int(spec.mem_bases[start])
+            extent = (
+                int(spec.mem_bases[stop - 1])
+                - base
+                + int(items[-1]) * spec.mem_stride
+            )
+            stall, _ = self.memory.cta_access([(base, extent)], smx.index, now)
+        else:
+            bases = spec.mem_bases[start:stop]
+            stall, _ = self.memory.cta_access_arrays(
+                bases, items * spec.mem_stride, smx.index, now
+            )
+
+        # Per-warp critical path and issue occupancy.
+        cost_total = spec.cycles_per_item + spec.accesses_per_item * stall
+        issue_frac = spec.cycles_per_item / cost_total if cost_total > 0 else 0.0
+        n = stop - start
+        init = self.cta_init_cycles
+        num_warps = (n + WARP_SIZE - 1) // WARP_SIZE
+        if spec.contiguous_footprint:
+            # Uniform child grid: every warp's max is items_per_thread
+            # (the remainder thread is never alone with a smaller count
+            # unless it is the only thread in the CTA).
+            per_warp = int(items[0]) if n > 1 else int(items[-1])
+            wt = init + per_warp * cost_total
+            wi = init + per_warp * cost_total * issue_frac
+            warp_total = [wt] * num_warps
+            warp_issue = [wi] * num_warps
+        else:
+            thread_total = items * cost_total
+            warp_starts = np.arange(0, n, WARP_SIZE)
+            warp_max = np.maximum.reduceat(thread_total, warp_starts)
+            warp_total = (init + warp_max).tolist()
+            warp_issue = (init + warp_max * issue_frac).tolist()
+
+        decisions: List[PendingDecision] = []
+        if spec.child_requests:
+            for tid in range(start, stop):
+                reqs = spec.child_requests.get(tid)
+                if not reqs:
+                    continue
+                warp = (tid - start) // WARP_SIZE
+                for req in reqs:
+                    decisions.append(
+                        PendingDecision(
+                            at_consumed=req.at_fraction * warp_total[warp],
+                            warp=warp,
+                            tid=tid,
+                            request=req,
+                        )
+                    )
+
+        cta = CTAInstance(
+            kernel,
+            cta_index,
+            num_threads=spec.threads_per_cta,
+            num_warps=len(warp_total),
+            regs=spec.threads_per_cta * spec.regs_per_thread,
+            shmem=spec.shmem_per_cta,
+            warp_total=warp_total,
+            warp_issue=warp_issue,
+            decisions=decisions,
+            demand_scale=self.latency_hiding,
+        )
+        executed = int(items.sum())
+        if kernel.is_child:
+            self.stats.items_in_child += executed
+        else:
+            self.stats.items_in_parent += executed
+        self._place_on_smx(cta, smx, now)
+
+    def _place_on_smx(self, cta: CTAInstance, smx: SMX, now: float) -> None:
+        smx.add(cta, now)
+        cta.dispatch_time = now
+        if cta.is_child:
+            self.metrics.on_cta_started(now)
+            self._res_child_ctas += 1
+        else:
+            self._res_parent_ctas += 1
+        self._res_warps += cta.num_warps
+        self._res_regs += cta.regs
+        self._res_shmem += cta.shmem
+        self._record_state()
+        self._reschedule_smx(smx)
+
+    # ------------------------------------------------------------------
+    # Launch decisions (fired on the progress axis)
+    # ------------------------------------------------------------------
+    def _process_decisions(self, cta: CTAInstance, smx: SMX, now: float) -> None:
+        fired = cta.pop_fired_decisions()
+        if not fired:
+            return
+        kernel = cta.kernel
+        spec = kernel.spec
+        batches: Dict[int, List[KernelInstance]] = {}
+        for decision in fired:
+            req = decision.request
+            kind = self.policy.decide(
+                LaunchRequest(
+                    time=now,
+                    items=req.items,
+                    num_ctas=req.num_ctas,
+                    items_per_thread=req.items_per_thread,
+                    depth=spec.depth + 1,
+                )
+            )
+            if kind is DecisionKind.SERIAL:
+                self._apply_serial(cta, decision, req)
+                continue
+            if kind is DecisionKind.REUSE:
+                self._apply_reuse(cta, req)
+                continue
+            child = self._make_child_kernel(kernel, cta, req)
+            self.metrics.advance(now)
+            self.metrics.on_ctas_admitted(child.num_ctas)
+            self.stats.child_kernels_launched += 1
+            self.stats.child_ctas_launched += child.num_ctas
+            self.stats.launch_times.append(now)
+            cta.outstanding_children += 1
+            self._apply_launch_cost(cta, decision, req)
+            if kind is DecisionKind.COALESCE:
+                child.record.launch_call_time = now
+                self.queue.schedule_in(
+                    self.dtbl_coalesce_cycles,
+                    lambda k=child: self._on_dtbl_arrival(k),
+                )
+            else:
+                batches.setdefault(decision.warp, []).append(child)
+        for batch in batches.values():
+            self.launch_unit.submit_batch(batch)
+        smx.refresh_demand(cta, now)
+
+    def _apply_serial(
+        self, cta: CTAInstance, decision: PendingDecision, req: ChildRequest
+    ) -> None:
+        """The parent thread performs the offloadable work in a loop."""
+        stall, _ = self.memory.cta_access(
+            [(req.mem_base, req.items * req.mem_stride)],
+            cta.smx_index,
+            self.queue.now,
+        )
+        total = req.items * (req.cycles_per_item + req.accesses_per_item * stall)
+        issue = req.items * req.cycles_per_item
+        cta.extend_thread(decision.warp, decision.tid, total, issue)
+        self.stats.items_in_parent += req.items
+        self.stats.child_kernels_declined += 1
+
+    def _apply_reuse(self, cta: CTAInstance, req: ChildRequest) -> None:
+        """Free Launch: spread the child's work over the parent CTA's lanes.
+
+        Every warp of the parent CTA picks up an equal share of the items;
+        shares from successive reused children accumulate (the reuse queue
+        drains work through the same resident threads).
+        """
+        stall, _ = self.memory.cta_access(
+            [(req.mem_base, req.items * req.mem_stride)],
+            cta.smx_index,
+            self.queue.now,
+        )
+        per_lane = -(-req.items // cta.num_threads)  # ceil: SIMT lockstep
+        total = per_lane * (req.cycles_per_item + req.accesses_per_item * stall)
+        issue = per_lane * req.cycles_per_item
+        for warp in range(cta.num_warps):
+            # A per-warp sentinel "thread" accumulates reuse shares so that
+            # successive reused children stack instead of overlapping.
+            cta.extend_thread(warp, -(warp + 1), total, issue)
+        self.stats.items_in_parent += req.items
+        self.stats.child_kernels_reused += 1
+
+    def _apply_launch_cost(
+        self, cta: CTAInstance, decision: PendingDecision, req: ChildRequest
+    ) -> None:
+        """Header reads plus the asynchronous launch API call."""
+        header = min(cta.kernel.spec.header_items, req.items)
+        stall, _ = self.memory.cta_access(
+            [(req.mem_base, header * req.mem_stride)],
+            cta.smx_index,
+            self.queue.now,
+        )
+        total = (
+            header * (req.cycles_per_item + req.accesses_per_item * stall)
+            + self.api_call_cycles
+        )
+        issue = header * req.cycles_per_item + self.api_call_cycles
+        cta.extend_thread(decision.warp, decision.tid, total, issue)
+
+    def _make_child_kernel(
+        self, parent: KernelInstance, parent_cta: CTAInstance, req: ChildRequest
+    ) -> KernelInstance:
+        child_spec = spec_from_request(req, depth=parent.spec.depth + 1)
+        stream = self.stream_policy.stream_for(parent.kernel_id, parent_cta.cta_index)
+        child = KernelInstance(
+            next(self._kernel_ids),
+            child_spec,
+            stream_id=stream,
+            is_child=True,
+            parent_cta=parent_cta,
+            items_per_thread=req.items_per_thread,
+        )
+        self._unfinished_kernels += 1
+        return child
+
+    # ------------------------------------------------------------------
+    # Completion handling
+    # ------------------------------------------------------------------
+    def _reschedule_smx(self, smx: SMX) -> None:
+        event = self._smx_events[smx.index]
+        if event is not None:
+            event.cancel()
+            self._smx_events[smx.index] = None
+        when = smx.next_event_time(self.queue.now)
+        if when is not None:
+            self._smx_events[smx.index] = self.queue.schedule(
+                max(when, self.queue.now),
+                lambda s=smx: self._on_smx_event(s),
+            )
+
+    def _on_smx_event(self, smx: SMX) -> None:
+        self._smx_events[smx.index] = None
+        now = self.queue.now
+        smx.advance(now)
+        progressed = False
+        for cta in smx.ctas_with_fired_decisions():
+            self._process_decisions(cta, smx, now)
+            progressed = True
+        finished = smx.pop_finished(now)
+        if finished:
+            progressed = True
+            for cta in finished:
+                self._detach_cta(cta, now)
+            self._record_state()
+            for cta in finished:
+                self._on_cta_compute_done(cta, now)
+            self._dispatch()
+        if progressed:
+            self._reschedule_smx(smx)
+        else:
+            # Pure float drift: nudge strictly forward so we cannot spin.
+            when = smx.next_event_time(now)
+            if when is not None:
+                self._smx_events[smx.index] = self.queue.schedule(
+                    max(when, now + 1e-3), lambda s=smx: self._on_smx_event(s)
+                )
+
+    def _detach_cta(self, cta: CTAInstance, now: float) -> None:
+        if cta.is_child:
+            self._res_child_ctas -= 1
+        else:
+            self._res_parent_ctas -= 1
+        self._res_warps -= cta.num_warps
+        self._res_regs -= cta.regs
+        self._res_shmem -= cta.shmem
+        cta.compute_done_time = now
+
+    def _on_cta_compute_done(self, cta: CTAInstance, now: float) -> None:
+        kernel = cta.kernel
+        kernel.computing_ctas -= 1
+        if cta.is_child:
+            exec_time = cta.exec_time
+            self.stats.child_cta_exec_times.append(exec_time)
+            self.metrics.on_cta_finished(now, exec_time, kernel.items_per_thread)
+        if cta.outstanding_children == 0:
+            self._cta_fully_done(cta)
+        else:
+            # Device-synchronization: resources already relinquished; the
+            # CTA completes when its children (and their descendants) do.
+            cta.state = CTAState.WAITING_CHILDREN
+        if (
+            kernel.computing_ctas == 0
+            and kernel.unfinished_ctas > 0
+            and not kernel.hwq_released
+            and not kernel.via_dtbl
+        ):
+            # Every CTA is done computing; the kernel only waits on
+            # descendants now, so it releases its HWQ (grid suspension).
+            kernel.hwq_released = True
+            self.gmu.on_kernel_suspended(kernel)
+            self._dispatch()
+
+    def _cta_fully_done(self, cta: CTAInstance) -> None:
+        cta.state = CTAState.DONE
+        if cta.kernel.cta_finished():
+            self._on_kernel_complete(cta.kernel)
+
+    def _on_kernel_complete(self, kernel: KernelInstance) -> None:
+        now = self.queue.now
+        kernel.record.completion_time = now
+        self._unfinished_kernels -= 1
+        self._last_completion = now
+        if kernel.via_dtbl:
+            if kernel in self._dtbl_pending:
+                self._dtbl_pending.remove(kernel)
+            kernel.state = KernelState.COMPLETE
+        elif kernel.hwq_released:
+            kernel.state = KernelState.COMPLETE
+        else:
+            kernel.hwq_released = True
+            self.gmu.on_kernel_complete(kernel)
+        parent_cta = kernel.parent_cta
+        if parent_cta is not None:
+            parent_cta.outstanding_children -= 1
+            if (
+                parent_cta.state is CTAState.WAITING_CHILDREN
+                and parent_cta.outstanding_children == 0
+            ):
+                self._cta_fully_done(parent_cta)
+        elif self._host_index + 1 < len(self._app.kernels):
+            self._host_index += 1
+            self._submit_next_root()
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _record_state(self) -> None:
+        self.stats.record_state(
+            self.queue.now,
+            parent_ctas=self._res_parent_ctas,
+            child_ctas=self._res_child_ctas,
+            warps=self._res_warps,
+            regs=self._res_regs,
+            shmem=self._res_shmem,
+        )

@@ -1,0 +1,97 @@
+"""Discrete-event core used by the GPU simulator.
+
+A tiny binary-heap event queue with stable FIFO ordering among same-time
+events and O(1) lazy cancellation.  The simulator advances a cycle-valued
+clock from event to event; there is no per-cycle stepping anywhere in the
+system, which is what keeps a Python reproduction of a multi-million-cycle
+GPU run tractable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  ``cancel()`` marks it dead in O(1)."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live event, advancing the clock; None if drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue, running callbacks; returns events executed."""
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {executed} events "
+                    "(likely a livelock in the simulated system)"
+                )
+            event = self.pop()
+            if event is None:
+                return executed
+            event.callback()
+            executed += 1

@@ -1,0 +1,168 @@
+"""Grid Management Unit: pending kernel pool, SWQ->HWQ binding, dispatch.
+
+Semantics reproduced from the paper's Section II-C:
+
+* Kernels carry a software work queue (SWQ / ``c_stream``) ID.  Kernels in
+  the same SWQ execute **sequentially**; kernels in different SWQs may run
+  concurrently.
+* There are 32 hardware work queues (HWQs), so at most 32 kernels execute
+  concurrently.  A SWQ with pending work must be *bound* to a free HWQ
+  before its head kernel's CTAs can be dispatched; binding is FCFS.
+* Time a kernel spends in the GMU before its first CTA dispatches is the
+  paper's *queuing latency*.
+
+The GMU does not pick SMXs itself — the engine walks the executing kernels
+round-robin and places CTAs wherever resources allow (RR CTA scheduler,
+Table II).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.config import GPUConfig
+from repro.sim.instances import KernelInstance, KernelState
+
+
+class GMU:
+    """Pending-kernel pool and HWQ occupancy tracking."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        #: SWQ id -> FIFO of kernels submitted to that stream.
+        self._streams: Dict[int, Deque[KernelInstance]] = {}
+        #: SWQ ids currently bound to a HWQ (insertion ordered).
+        self._bound: Dict[int, None] = {}
+        #: SWQ ids waiting for a HWQ, FCFS.
+        self._wait_order: Deque[int] = deque()
+        #: Round-robin cursor over bound streams for CTA dispatch.
+        self._rr_cursor = 0
+        #: Cache of self._bound keys; rebuilt when bindings change.
+        self._bound_list: List[int] = []
+        # Telemetry.
+        self.peak_pending_kernels = 0
+        self.kernels_submitted = 0
+        self._pending_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_bound(self) -> int:
+        return len(self._bound)
+
+    @property
+    def num_waiting_streams(self) -> int:
+        return len(self._wait_order)
+
+    @property
+    def pending_kernels(self) -> int:
+        return self._pending_count
+
+    def executing_kernels(self) -> List[KernelInstance]:
+        """Head kernels of every bound stream (the <=32 running kernels)."""
+        heads = []
+        for swq in self._bound:
+            queue = self._streams.get(swq)
+            if queue:
+                heads.append(queue[0])
+        return heads
+
+    # ------------------------------------------------------------------
+    # Submission / binding
+    # ------------------------------------------------------------------
+    def submit(self, kernel: KernelInstance) -> None:
+        """A kernel arrives in the pending pool (post launch overhead)."""
+        swq = kernel.stream_id
+        queue = self._streams.setdefault(swq, deque())
+        queue.append(kernel)
+        self.kernels_submitted += 1
+        self._pending_count += 1
+        if self._pending_count > self.peak_pending_kernels:
+            self.peak_pending_kernels = self._pending_count
+        if swq in self._bound:
+            self._refresh_head(swq)
+        elif swq not in self._wait_order:
+            self._wait_order.append(swq)
+            self._bind_waiting_streams()
+
+    def _bind_waiting_streams(self) -> None:
+        while self._wait_order and len(self._bound) < self.config.num_hwq:
+            swq = self._wait_order.popleft()
+            queue = self._streams.get(swq)
+            if not queue:
+                continue
+            self._bound[swq] = None
+            self._bound_list.append(swq)
+            self._refresh_head(swq)
+
+    def _refresh_head(self, swq: int) -> None:
+        queue = self._streams.get(swq)
+        if queue and queue[0].state is KernelState.PENDING:
+            queue[0].state = KernelState.EXECUTING
+
+    # ------------------------------------------------------------------
+    # Dispatch iteration
+    # ------------------------------------------------------------------
+    def dispatchable_kernels(self) -> Iterator[KernelInstance]:
+        """Bound-stream head kernels with undispatched CTAs, round-robin.
+
+        The cursor persists across calls so successive dispatch rounds
+        rotate fairly over streams, like the RR CTA scheduler in Table II.
+        """
+        bound = self._bound_list
+        if not bound:
+            return
+        n = len(bound)
+        start = self._rr_cursor % n
+        for offset in range(n):
+            swq = bound[(start + offset) % n]
+            queue = self._streams.get(swq)
+            if not queue:
+                continue
+            head = queue[0]
+            if head.state is KernelState.EXECUTING and head.has_undispatched_ctas:
+                self._rr_cursor = (start + offset + 1) % n
+                yield head
+
+    # ------------------------------------------------------------------
+    # Completion / suspension
+    # ------------------------------------------------------------------
+    def on_kernel_complete(self, kernel: KernelInstance) -> None:
+        """Retire the head kernel of its stream; rebind HWQs as needed."""
+        self._retire(kernel, KernelState.COMPLETE)
+
+    def on_kernel_suspended(self, kernel: KernelInstance) -> None:
+        """A kernel's CTAs all finished computing but descendants live.
+
+        It no longer executes anything, so it stops occupying a HWQ (the
+        Kepler GMU suspends such grids back to the pending pool).  Without
+        this, nested dynamic parallelism deadlocks: 32 waiting parents
+        would starve the grandchildren they are waiting on.
+        """
+        self._retire(kernel, KernelState.PENDING)
+
+    def _retire(self, kernel: KernelInstance, state: KernelState) -> None:
+        swq = kernel.stream_id
+        queue = self._streams.get(swq)
+        if not queue or queue[0] is not kernel:
+            raise SimulationError(
+                f"kernel {kernel.spec.name!r} retired but is not the head "
+                f"of stream {swq}"
+            )
+        queue.popleft()
+        self._pending_count -= 1
+        kernel.state = state
+        if queue:
+            self._refresh_head(swq)
+        else:
+            del self._streams[swq]
+            if swq in self._bound:
+                del self._bound[swq]
+                self._bound_list.remove(swq)
+                self._bind_waiting_streams()
+
+    def drained(self) -> bool:
+        return not self._streams and not self._wait_order

@@ -1,0 +1,94 @@
+"""Device-side kernel launch unit.
+
+Launching a child kernel costs ``A*x + b`` cycles for a warp that issues
+``x`` launches (Table II; constants measured by Wang et al.).  The runtime
+can only service a bounded number of warp launch batches concurrently
+(``service_slots``); bursts beyond that queue FCFS.  This is the component
+that turns "a majority of running parent threads launch child kernels within
+a short period of time" into visible, compounding launch overhead — the
+first of the two drawbacks SPAWN attacks.
+
+The marginal per-kernel cost ``A*x`` occupies a service slot (it is real
+work for the runtime/microcode); the fixed pipeline latency ``b`` overlaps
+with other batches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Tuple
+
+from repro.errors import LaunchError
+from repro.sim.config import LaunchOverheadConfig
+from repro.sim.events import EventQueue
+from repro.sim.instances import KernelInstance
+
+#: Callback invoked when a launched kernel reaches the GMU: (kernel, time).
+DeliverFn = Callable[[KernelInstance], None]
+
+
+class LaunchUnit:
+    """Queues warp launch batches and delivers kernels to the GMU."""
+
+    def __init__(
+        self,
+        config: LaunchOverheadConfig,
+        queue: EventQueue,
+        deliver: DeliverFn,
+    ):
+        self.config = config
+        self.queue = queue
+        self.deliver = deliver
+        self._busy_slots = 0
+        self._waiting: Deque[List[KernelInstance]] = deque()
+        # Telemetry
+        self.batches_submitted = 0
+        self.kernels_submitted = 0
+        self.total_queue_delay = 0.0
+        self._waiting_since: Deque[float] = deque()
+
+    @property
+    def busy_slots(self) -> int:
+        return self._busy_slots
+
+    @property
+    def backlog(self) -> int:
+        return len(self._waiting)
+
+    def submit_batch(self, kernels: List[KernelInstance]) -> None:
+        """Submit the launches issued by one warp in one API burst."""
+        if not kernels:
+            raise LaunchError("empty launch batch")
+        now = self.queue.now
+        self.batches_submitted += 1
+        self.kernels_submitted += len(kernels)
+        for kernel in kernels:
+            kernel.record.launch_call_time = now
+        if self._busy_slots < self.config.service_slots:
+            self._start_service(kernels)
+        else:
+            self._waiting.append(kernels)
+            self._waiting_since.append(now)
+
+    def _start_service(self, kernels: List[KernelInstance]) -> None:
+        self._busy_slots += 1
+        occupancy = self.config.slope_cycles * len(kernels)
+        arrival_delay = occupancy + self.config.base_cycles
+        self.queue.schedule_in(occupancy, lambda: self._release_slot())
+        self.queue.schedule_in(arrival_delay, lambda ks=kernels: self._arrive(ks))
+
+    def _release_slot(self) -> None:
+        self._busy_slots -= 1
+        if self._waiting and self._busy_slots < self.config.service_slots:
+            batch = self._waiting.popleft()
+            queued_at = self._waiting_since.popleft()
+            self.total_queue_delay += self.queue.now - queued_at
+            self._start_service(batch)
+
+    def _arrive(self, kernels: List[KernelInstance]) -> None:
+        for kernel in kernels:
+            self.deliver(kernel)
+
+    def stats(self) -> Tuple[int, int, float]:
+        """(batches, kernels, total queue delay cycles)."""
+        return (self.batches_submitted, self.kernels_submitted, self.total_queue_delay)

@@ -1,0 +1,178 @@
+"""SMX (streaming multiprocessor) model.
+
+Each SMX is a processor-sharing server over its resident CTAs.  A CTA's
+*work* is its critical-path latency in cycles (the slowest of its warps,
+stalls included); its *demand* is the issue-slot occupancy of its warps.
+When the summed demand of resident CTAs exceeds the SMX's issue capacity,
+everything slows down uniformly by ``capacity / total_demand`` —
+proportional-share scheduling, which is what a fine-grained GTO warp
+scheduler averages out to at the timescales the paper's mechanism operates
+on.
+
+This is the component that reproduces the paper's utilization story: a lone
+lightweight child CTA leaves most issue slots idle (Fig. 6's low
+utilization tail), while a healthy mix of parent and child CTAs keeps the
+SMX saturated.
+
+Besides completions, the SMX also surfaces *decision points*: progress
+positions at which a resident parent CTA's threads execute their device
+launch calls (see :class:`repro.sim.instances.PendingDecision`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.config import GPUConfig
+from repro.sim.instances import EPSILON, CTAInstance
+
+
+class SMX:
+    """Resource accounting plus processor-sharing progress for one SMX."""
+
+    def __init__(self, index: int, config: GPUConfig):
+        self.index = index
+        self.config = config
+        self.capacity = config.issue_width
+        self.resident: List[CTAInstance] = []
+        self.used_threads = 0
+        self.used_regs = 0
+        self.used_shmem = 0
+        self.used_warps = 0
+        self._total_demand = 0.0
+        self._last_update = 0.0
+
+    # ------------------------------------------------------------------
+    # Resource accounting
+    # ------------------------------------------------------------------
+    def can_fit(self, *, threads: int, regs: int, shmem: int) -> bool:
+        cfg = self.config
+        return (
+            len(self.resident) < cfg.max_ctas_per_smx
+            and self.used_threads + threads <= cfg.max_threads_per_smx
+            and self.used_regs + regs <= cfg.registers_per_smx
+            and self.used_shmem + shmem <= cfg.shared_mem_per_smx
+        )
+
+    @property
+    def has_free_cta_slot(self) -> bool:
+        return len(self.resident) < self.config.max_ctas_per_smx
+
+    @property
+    def num_resident(self) -> int:
+        return len(self.resident)
+
+    @property
+    def scale(self) -> float:
+        """Current uniform progress rate of resident CTAs (<= 1)."""
+        if self._total_demand <= self.capacity:
+            return 1.0
+        return self.capacity / self._total_demand
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of issue capacity in use."""
+        return min(self._total_demand, self.capacity) / self.capacity
+
+    # ------------------------------------------------------------------
+    # Progress integration
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> None:
+        """Integrate progress of resident CTAs up to ``now``."""
+        dt = now - self._last_update
+        if dt < -EPSILON:
+            raise SimulationError(
+                f"SMX {self.index} asked to advance backwards "
+                f"({self._last_update} -> {now})"
+            )
+        if dt > 0 and self.resident:
+            step = self.scale * dt
+            for cta in self.resident:
+                cta.consumed = min(cta.consumed + step, cta.total_work)
+        self._last_update = max(self._last_update, now)
+
+    def add(self, cta: CTAInstance, now: float) -> None:
+        """Place a CTA on this SMX (caller must have checked ``can_fit``)."""
+        if not self.can_fit(threads=cta.num_threads, regs=cta.regs, shmem=cta.shmem):
+            raise SimulationError(f"CTA {cta!r} does not fit on SMX {self.index}")
+        self.advance(now)
+        cta.smx_index = self.index
+        self.resident.append(cta)
+        self.used_threads += cta.num_threads
+        self.used_regs += cta.regs
+        self.used_shmem += cta.shmem
+        self.used_warps += cta.num_warps
+        self._total_demand += cta.demand
+
+    def remove(self, cta: CTAInstance, now: float) -> None:
+        self.advance(now)
+        try:
+            self.resident.remove(cta)
+        except ValueError:
+            raise SimulationError(
+                f"CTA {cta!r} not resident on SMX {self.index}"
+            ) from None
+        self.used_threads -= cta.num_threads
+        self.used_regs -= cta.regs
+        self.used_shmem -= cta.shmem
+        self.used_warps -= cta.num_warps
+        self._total_demand -= cta.demand
+        if self._total_demand < EPSILON:
+            self._total_demand = 0.0
+        cta.smx_index = -1
+
+    def refresh_demand(self, cta: CTAInstance, now: float) -> None:
+        """Re-derive a resident CTA's demand after its warp work changed.
+
+        The caller must have already advanced this SMX to ``now`` (decision
+        processing does), so the demand change applies from ``now`` onward.
+        """
+        self.advance(now)
+        old = cta.demand
+        new = cta.refresh_demand()
+        self._total_demand += new - old
+        if self._total_demand < EPSILON:
+            self._total_demand = 0.0
+
+    # ------------------------------------------------------------------
+    # Event horizon
+    # ------------------------------------------------------------------
+    def next_event_time(self, now: float) -> Optional[float]:
+        """Earliest completion *or* decision-point crossing, or None."""
+        if not self.resident:
+            return None
+        self.advance(now)
+        rate = self.scale
+        horizon = None
+        for cta in self.resident:
+            target = cta.total_work
+            point = cta.next_decision_point
+            if point is not None and point < target:
+                target = point
+            dt = max(0.0, target - cta.consumed) / rate
+            when = now + dt
+            if horizon is None or when < horizon:
+                horizon = when
+        return horizon
+
+    def ctas_with_fired_decisions(self) -> List[CTAInstance]:
+        """Resident CTAs whose next decision point has been crossed."""
+        return [
+            c
+            for c in self.resident
+            if c.next_decision_point is not None
+            and c.next_decision_point <= c.consumed + EPSILON
+        ]
+
+    def pop_finished(self, now: float) -> List[CTAInstance]:
+        """Advance to ``now`` and detach every CTA whose compute is done."""
+        self.advance(now)
+        finished = [c for c in self.resident if c.compute_finished]
+        for cta in finished:
+            self.remove(cta, now)
+        return finished
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """(ctas, warps, regs, shmem) currently in use."""
+        return (len(self.resident), self.used_warps, self.used_regs, self.used_shmem)

@@ -1,0 +1,213 @@
+"""Statistics collected during a simulation run.
+
+Everything the paper's evaluation section plots is derived from the fields
+here: makespan/speedup (Fig. 5, 15, 21), SMX occupancy (Fig. 16), L2 hit rate
+(Fig. 17), child-kernel counts (Fig. 18), concurrency/utilization timelines
+(Fig. 6, 19), cumulative launch CDFs (Fig. 20), and child-CTA execution time
+distributions (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class KernelRecord:
+    """Lifecycle timestamps and identity of one kernel instance."""
+
+    kernel_id: int
+    name: str
+    is_child: bool
+    depth: int
+    num_ctas: int
+    stream_id: int = -1
+    launch_call_time: Optional[float] = None
+    arrival_time: Optional[float] = None
+    first_dispatch_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    @property
+    def queuing_latency(self) -> Optional[float]:
+        if self.arrival_time is None or self.first_dispatch_time is None:
+            return None
+        return self.first_dispatch_time - self.arrival_time
+
+    @property
+    def launch_overhead(self) -> Optional[float]:
+        if self.launch_call_time is None or self.arrival_time is None:
+            return None
+        return self.arrival_time - self.launch_call_time
+
+
+@dataclass
+class TraceSample:
+    """One point of the concurrency/utilization timeline (Fig. 6 / 19)."""
+
+    time: float
+    parent_ctas: int
+    child_ctas: int
+    utilization: float
+
+    @property
+    def total_ctas(self) -> int:
+        return self.parent_ctas + self.child_ctas
+
+
+class SimStats:
+    """Mutable statistics sink owned by one simulator instance."""
+
+    def __init__(self, *, trace_interval: float = 1000.0):
+        self.trace_interval = trace_interval
+        self.makespan: float = 0.0
+
+        # Launch accounting.
+        self.child_kernels_launched = 0
+        self.child_kernels_declined = 0
+        self.child_kernels_reused = 0  # Free Launch thread-reuse conversions
+        self.child_ctas_launched = 0
+        self.launch_times: List[float] = []  # one entry per launched child
+
+        # Work partitioning (Fig. 5 x-axis).
+        self.items_in_parent = 0
+        self.items_in_child = 0
+
+        # Per-kernel lifecycle records.
+        self.kernels: Dict[int, KernelRecord] = {}
+
+        # Child CTA execution times (Fig. 12) and warp times.
+        self.child_cta_exec_times: List[float] = []
+
+        # Occupancy integrals.
+        self._warp_cycles = 0.0
+        self._reg_cycles = 0.0
+        self._shmem_cycles = 0.0
+        self._last_state_time = 0.0
+        self._current_warps = 0
+        self._current_regs = 0
+        self._current_shmem = 0
+        self._current_parent_ctas = 0
+        self._current_child_ctas = 0
+
+        # Capacity (set once by the engine).
+        self.total_warp_capacity = 1
+        self.total_reg_capacity = 1
+        self.total_shmem_capacity = 1
+
+        # Timeline.
+        self.trace: List[TraceSample] = []
+        self._last_trace_time = -float("inf")
+
+        # Memory results (filled in by the engine at the end of a run).
+        self.l2_hits = 0
+        self.l2_misses = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy / timeline tracking
+    # ------------------------------------------------------------------
+    def set_capacity(self, warps: int, regs: int, shmem: int) -> None:
+        self.total_warp_capacity = max(warps, 1)
+        self.total_reg_capacity = max(regs, 1)
+        self.total_shmem_capacity = max(shmem, 1)
+
+    def _utilization(self) -> float:
+        """Paper's "resource utilization": max of warp/reg/shmem usage."""
+        return max(
+            self._current_warps / self.total_warp_capacity,
+            self._current_regs / self.total_reg_capacity,
+            self._current_shmem / self.total_shmem_capacity,
+        )
+
+    def record_state(
+        self,
+        time: float,
+        *,
+        parent_ctas: int,
+        child_ctas: int,
+        warps: int,
+        regs: int,
+        shmem: int,
+    ) -> None:
+        """Called by the engine whenever the set of resident CTAs changes."""
+        dt = time - self._last_state_time
+        if dt > 0:
+            self._warp_cycles += self._current_warps * dt
+            self._reg_cycles += self._current_regs * dt
+            self._shmem_cycles += self._current_shmem * dt
+        self._last_state_time = time
+        self._current_parent_ctas = parent_ctas
+        self._current_child_ctas = child_ctas
+        self._current_warps = warps
+        self._current_regs = regs
+        self._current_shmem = shmem
+        if time - self._last_trace_time >= self.trace_interval:
+            self.trace.append(
+                TraceSample(time, parent_ctas, child_ctas, self._utilization())
+            )
+            self._last_trace_time = time
+
+    def finalize(self, makespan: float) -> None:
+        self.record_state(
+            makespan,
+            parent_ctas=self._current_parent_ctas,
+            child_ctas=self._current_child_ctas,
+            warps=self._current_warps,
+            regs=self._current_regs,
+            shmem=self._current_shmem,
+        )
+        self.makespan = makespan
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def smx_occupancy(self) -> float:
+        """Average active warps per cycle / warp capacity (Fig. 16)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self._warp_cycles / (self.makespan * self.total_warp_capacity)
+
+    @property
+    def l2_hit_rate(self) -> float:
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    @property
+    def offload_fraction(self) -> float:
+        """Fraction of work items executed inside child kernels (Fig. 5)."""
+        total = self.items_in_parent + self.items_in_child
+        return self.items_in_child / total if total else 0.0
+
+    @property
+    def mean_child_queuing_latency(self) -> float:
+        latencies = [
+            rec.queuing_latency
+            for rec in self.kernels.values()
+            if rec.is_child and rec.queuing_latency is not None
+        ]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    @property
+    def mean_child_cta_time(self) -> float:
+        times = self.child_cta_exec_times
+        return sum(times) / len(times) if times else 0.0
+
+    def launch_cdf(self) -> List[tuple]:
+        """(time, cumulative launched child kernels) points (Fig. 20)."""
+        return [(t, i + 1) for i, t in enumerate(sorted(self.launch_times))]
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of headline metrics, for reports and tests."""
+        return {
+            "makespan": self.makespan,
+            "child_kernels_launched": self.child_kernels_launched,
+            "child_kernels_declined": self.child_kernels_declined,
+            "child_kernels_reused": self.child_kernels_reused,
+            "child_ctas_launched": self.child_ctas_launched,
+            "smx_occupancy": self.smx_occupancy,
+            "l2_hit_rate": self.l2_hit_rate,
+            "offload_fraction": self.offload_fraction,
+            "mean_child_queuing_latency": self.mean_child_queuing_latency,
+            "mean_child_cta_time": self.mean_child_cta_time,
+        }

@@ -1,0 +1,44 @@
+"""Workloads: the paper's Table I benchmarks with synthetic inputs.
+
+Importing :mod:`repro.workloads` (or calling
+:func:`repro.workloads.base.all_benchmarks`) registers all benchmarks in
+:data:`repro.workloads.base.REGISTRY`.
+"""
+
+from repro.workloads.base import (
+    REGISTRY,
+    AddressAllocator,
+    Benchmark,
+    BenchmarkRegistry,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+)
+
+#: The 13 benchmarks of Table I, in the paper's order.
+TABLE1_NAMES = (
+    "AMR",
+    "BFS-citation",
+    "BFS-graph500",
+    "SSSP-citation",
+    "SSSP-graph500",
+    "JOIN-uniform",
+    "JOIN-gaussian",
+    "GC-citation",
+    "GC-graph500",
+    "Mandel",
+    "MM-small",
+    "MM-large",
+    "SA-thaliana",
+)
+
+__all__ = [
+    "REGISTRY",
+    "AddressAllocator",
+    "Benchmark",
+    "BenchmarkRegistry",
+    "TABLE1_NAMES",
+    "all_benchmarks",
+    "benchmark_names",
+    "get_benchmark",
+]

@@ -1,0 +1,84 @@
+"""Single-Source Shortest Path — Table I ``SSSP-citation``/``SSSP-graph500``.
+
+Worklist Bellman-Ford: each round relaxes the out-edges of every vertex
+whose distance changed in the previous round, so vertices re-activate and
+the total number of (potential) child launches well exceeds BFS on the same
+graph.  SSSP launches *many small* child kernels — the regime where launch
+overhead dominates, which is why DTBL beats SPAWN here in the paper's
+Fig. 21 and why SPAWN's bootstrap mispredicts on graph500 (Section V-B).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.kernel import Application
+from repro.workloads._traversal import TraversalCosts, build_round_kernels
+from repro.workloads.base import REGISTRY, Benchmark
+from repro.workloads.graphs import CSRGraph, citation_graph, graph500_graph, sssp_rounds
+
+MIN_OFFLOAD = 16
+
+#: Relaxation touches the neighbour's distance as well as the edge weight.
+COSTS = TraversalCosts(cycles_per_edge=20.0, accesses_per_edge=2.0)
+
+
+@functools.lru_cache(maxsize=None)
+def _graph(input_name: str, seed: int) -> CSRGraph:
+    if input_name == "citation":
+        return citation_graph(num_vertices=12000, edges_per_vertex=6, seed=seed)
+    if input_name == "graph500":
+        return graph500_graph(scale=14, edge_factor=16, seed=seed)
+    raise ValueError(f"unknown SSSP input {input_name!r}")
+
+
+@functools.lru_cache(maxsize=None)
+def _rounds(input_name: str, seed: int):
+    graph = _graph(input_name, seed)
+    source = int(np.argmax(graph.degrees))
+    return tuple(sssp_rounds(graph, source, seed=seed))
+
+
+def build(
+    input_name: str,
+    *,
+    variant: str = "dp",
+    seed: int = 1,
+    cta_threads: Optional[int] = None,
+) -> Application:
+    """Build the SSSP application for one input and variant."""
+    graph = _graph(input_name, seed)
+    return build_round_kernels(
+        f"SSSP-{input_name}",
+        graph,
+        _rounds(input_name, seed),
+        dp=(variant == "dp"),
+        min_offload=MIN_OFFLOAD,
+        cta_threads=cta_threads or 64,
+        costs=COSTS,
+    )
+
+
+def _register(input_name: str, input_label: str) -> Benchmark:
+    return REGISTRY.register(
+        Benchmark(
+            name=f"SSSP-{input_name}",
+            application="Single Source Shortest Path",
+            input_name=input_label,
+            build_flat=lambda seed, i=input_name: build(i, variant="flat", seed=seed),
+            build_dp=lambda seed, cta, i=input_name: build(
+                i, variant="dp", seed=seed, cta_threads=cta
+            ),
+            default_threshold=MIN_OFFLOAD,
+            sweep_thresholds=(16, 32, 64, 128, 256, 512, 1024),
+            default_cta_threads=64,
+            description="Worklist Bellman-Ford; child kernel per heavy active vertex.",
+        )
+    )
+
+
+_register("citation", "Citation Network")
+_register("graph500", "Graph 500")

@@ -1,0 +1,67 @@
+"""Unit tests for the Child CTA Queuing System model."""
+
+import pytest
+
+from repro.core.ccqs import CCQS
+from repro.core.metrics import MetricsMonitor
+from repro.errors import ConfigError
+
+
+def make_ccqs(max_queue=16):
+    monitor = MetricsMonitor(window_cycles=128)
+    return CCQS(monitor, max_queue_size=max_queue), monitor
+
+
+class TestCapacity:
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ConfigError):
+            CCQS(MetricsMonitor(), max_queue_size=0)
+
+    def test_has_capacity_respects_bound(self):
+        ccqs, _ = make_ccqs(max_queue=4)
+        assert ccqs.has_capacity(4)
+        ccqs.admit(3)
+        assert ccqs.has_capacity(1)
+        assert not ccqs.has_capacity(2)
+
+    def test_admit_tracks_n(self):
+        ccqs, monitor = make_ccqs()
+        ccqs.admit(5)
+        assert ccqs.n == 5
+        assert monitor.n == 5
+
+
+class TestThroughput:
+    def test_zero_before_any_completion(self):
+        ccqs, _ = make_ccqs()
+        assert ccqs.throughput() == 0.0
+        assert ccqs.estimated_drain_time(3) == 0.0
+
+    def test_throughput_is_ncon_over_tcta(self):
+        ccqs, monitor = make_ccqs()
+        monitor.on_ctas_admitted(4)
+        for _ in range(4):
+            monitor.on_cta_started(0.0)
+        monitor.advance(128.0)  # ncon window closes at 4
+        monitor.on_cta_finished(200.0, exec_time=200.0, items_per_thread=1)
+        assert ccqs.throughput() == pytest.approx(4 / 200.0)
+
+    def test_drain_time_is_equation_one(self):
+        ccqs, monitor = make_ccqs(max_queue=1000)
+        monitor.on_ctas_admitted(10)
+        for _ in range(2):
+            monitor.on_cta_started(0.0)
+        monitor.advance(128.0)
+        monitor.on_cta_finished(200.0, exec_time=100.0, items_per_thread=1)
+        # n = 9 now; drain of (9 + x) / (ncon / tcta)
+        expected = (9 + 3) / (2 / 100.0)
+        assert ccqs.estimated_drain_time(3) == pytest.approx(expected)
+
+    def test_ncon_floor_of_one(self):
+        """Before a concurrency window completes, ncon=0 clamps to 1."""
+        ccqs, monitor = make_ccqs()
+        monitor.on_ctas_admitted(1)
+        monitor.on_cta_started(0.0)
+        monitor.on_cta_finished(50.0, exec_time=50.0, items_per_thread=1)
+        assert ccqs.throughput() == pytest.approx(1 / 50.0)
+

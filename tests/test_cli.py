@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "BFS-citation"])
+        assert args.scheme == "spawn"
+        assert args.seed == 1
+        assert args.stream_policy == "per-child"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_list(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "BFS-graph500" in text
+        assert "SA-thaliana" in text
+
+    def test_config(self):
+        code, text = run_cli("config")
+        assert code == 0
+        assert "13 SMXs" in text
+        assert "1721" in text
+
+    def test_run_flat(self):
+        code, text = run_cli("run", "GC-citation", "--scheme", "flat")
+        assert code == 0
+        assert "makespan" in text
+        assert "speedup_vs_flat" not in text
+
+    def test_run_spawn_reports_speedup(self):
+        code, text = run_cli("run", "GC-citation", "--scheme", "spawn")
+        assert code == 0
+        assert "speedup_vs_flat" in text
+
+    def test_run_unknown_benchmark_fails_cleanly(self):
+        code, _ = run_cli("run", "not-a-benchmark")
+        assert code == 1
+
+    def test_run_bad_scheme_fails_cleanly(self):
+        code, _ = run_cli("run", "GC-citation", "--scheme", "bogus")
+        assert code == 1
+
+    def test_sweep(self):
+        code, text = run_cli("sweep", "GC-citation")
+        assert code == 0
+        assert "THRESHOLD" in text
+        assert "*" in text
+
+    def test_experiment_table(self):
+        code, text = run_cli("experiment", "table2")
+        assert code == 0
+        assert "GPU configuration" in text
+
+    def test_experiment_unknown_id(self):
+        code, _ = run_cli("experiment", "fig99")
+        assert code == 2
+
+    def test_experiment_fig01(self):
+        code, text = run_cli("experiment", "fig01")
+        assert code == 0
+        assert "imbalance" in text

@@ -1,0 +1,86 @@
+"""Tests for the optional DRAM bandwidth model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import GPUConfig, MemoryConfig
+from repro.sim.dram import DramBandwidthModel
+from repro.sim.engine import GPUSimulator
+from repro.sim.memory import MemorySystem
+
+from tests.conftest import make_flat_app
+
+
+class TestDramBandwidthModel:
+    def test_idle_system_has_unit_factor(self):
+        dram = DramBandwidthModel(1.0, 1000)
+        assert dram.record(0.0, 0) == pytest.approx(1.0)
+
+    def test_factor_grows_with_utilization(self):
+        dram = DramBandwidthModel(1.0, 1000)
+        low = dram.record(0.0, 100)  # 10% of window capacity
+        high = dram.record(1.0, 800)  # 90% of window capacity
+        assert high > low > 1.0
+
+    def test_factor_saturates_at_cap(self):
+        dram = DramBandwidthModel(1.0, 100)
+        factor = dram.record(0.0, 10_000)  # way beyond capacity
+        assert factor == pytest.approx(1.0 / (1.0 - 0.95))
+
+    def test_window_expiry_resets_utilization(self):
+        dram = DramBandwidthModel(1.0, 100)
+        dram.record(0.0, 90)
+        assert dram.utilization(50.0) > 0.5
+        assert dram.utilization(500.0) == 0.0
+
+    def test_telemetry(self):
+        dram = DramBandwidthModel(1.0, 100)
+        dram.record(0.0, 10)
+        dram.record(1.0, 20)
+        assert dram.total_misses == 30
+        assert dram.peak_utilization > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DramBandwidthModel(0.0, 100)
+        with pytest.raises(ConfigError):
+            DramBandwidthModel(1.0, 0)
+        with pytest.raises(ConfigError):
+            DramBandwidthModel(1.0, 100).record(0.0, -1)
+
+
+class TestMemorySystemIntegration:
+    def test_disabled_by_default(self):
+        mem = MemorySystem(MemoryConfig())
+        assert mem.dram is None
+
+    def test_congestion_raises_stall(self):
+        congested = MemorySystem(
+            MemoryConfig(dram_peak_lines_per_cycle=0.001, dram_window_cycles=4096)
+        )
+        free = MemorySystem(MemoryConfig())
+        # Both streams are cold (all misses); the congested system pays more.
+        stall_free, _ = free.cta_access([(0, 128 * 64)], now=0.0)
+        congested.cta_access([(10**7, 128 * 512)], now=0.0)  # warm up pressure
+        stall_hot, _ = congested.cta_access([(0, 128 * 64)], now=1.0)
+        assert stall_hot > stall_free
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(dram_peak_lines_per_cycle=-1.0)
+        with pytest.raises(ConfigError):
+            MemoryConfig(dram_window_cycles=0)
+
+
+class TestEngineWithBandwidth:
+    def test_bandwidth_bound_run_is_slower(self):
+        app = make_flat_app(threads=128, items=32)
+        base = GPUSimulator(config=GPUConfig()).run(app)
+        throttled = GPUSimulator(
+            config=GPUConfig(
+                memory=MemoryConfig(
+                    dram_peak_lines_per_cycle=0.01, dram_window_cycles=4096
+                )
+            )
+        ).run(app)
+        assert throttled.makespan > base.makespan

@@ -1,0 +1,222 @@
+"""Integration tests for the GPU simulator engine on micro-applications."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    AlwaysLaunchPolicy,
+    DTBLPolicy,
+    NeverLaunchPolicy,
+    SpawnPolicy,
+    StaticThresholdPolicy,
+)
+from repro.errors import SimulationError
+from repro.runtime.streams import PerParentCTAStream
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator
+from repro.sim.kernel import Application, KernelSpec
+
+from tests.conftest import make_dp_app, make_flat_app
+
+
+def run(app, policy=None, config=None, **kwargs):
+    sim = GPUSimulator(config=config or small_debug_gpu(), policy=policy, **kwargs)
+    return sim.run(app), sim
+
+
+class TestFlatExecution:
+    def test_flat_app_completes(self, flat_app):
+        result, sim = run(flat_app)
+        assert result.makespan > 0
+        assert sim._unfinished_kernels == 0
+        assert result.stats.child_kernels_launched == 0
+        assert result.stats.offload_fraction == 0.0
+
+    def test_all_items_accounted(self, flat_app):
+        result, _ = run(flat_app)
+        assert result.stats.items_in_parent == flat_app.flat_items
+
+    def test_more_work_takes_longer(self):
+        small, _ = run(make_flat_app(items=4))
+        large, _ = run(make_flat_app(items=40))
+        assert large.makespan > small.makespan
+
+    def test_heavy_thread_dominates_makespan(self):
+        balanced, _ = run(make_flat_app(items=4))
+        skewed, _ = run(make_flat_app(items=4, heavy_thread=0, heavy_items=4000))
+        assert skewed.makespan > 5 * balanced.makespan
+
+    def test_sequential_host_kernels(self):
+        spec = make_flat_app().kernels[0]
+        app = Application(name="two", kernels=[spec, spec], flat_items=0)
+        single, _ = run(make_flat_app())
+        double, _ = run(app)
+        assert double.makespan > 1.5 * single.makespan
+
+    def test_determinism(self, flat_app):
+        a, _ = run(flat_app)
+        b, _ = run(flat_app)
+        assert a.makespan == b.makespan
+
+
+class TestDynamicParallelism:
+    def test_always_launch_spawns_children(self, dp_app):
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        assert result.stats.child_kernels_launched == 32
+        assert result.stats.child_ctas_launched == 32
+        assert result.stats.items_in_child == 32 * 32
+
+    def test_never_launch_keeps_work_in_parent(self, dp_app):
+        result, _ = run(dp_app, policy=NeverLaunchPolicy())
+        assert result.stats.child_kernels_launched == 0
+        assert result.stats.child_kernels_declined == 32
+        assert result.stats.items_in_child == 0
+        assert result.stats.items_in_parent == dp_app.flat_items
+
+    def test_work_conserved_across_policies(self, dp_app):
+        for policy in (AlwaysLaunchPolicy(), NeverLaunchPolicy(), SpawnPolicy()):
+            result, _ = run(dp_app, policy=policy)
+            total = result.stats.items_in_parent + result.stats.items_in_child
+            assert total == dp_app.flat_items
+
+    def test_launch_overhead_delays_children(self, dp_app):
+        result, sim = run(dp_app, policy=AlwaysLaunchPolicy())
+        launch = sim.config.launch
+        for record in result.stats.kernels.values():
+            if record.is_child:
+                assert record.launch_overhead >= launch.base_cycles
+
+    def test_threshold_policy_partitions(self):
+        app = make_dp_app(child_items=64)
+        result, _ = run(app, policy=StaticThresholdPolicy(64))
+        assert result.stats.child_kernels_launched == 0
+        result, _ = run(app, policy=StaticThresholdPolicy(63))
+        assert result.stats.child_kernels_launched == 32
+
+    def test_child_exec_times_recorded(self, dp_app):
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        times = result.stats.child_cta_exec_times
+        assert len(times) == 32
+        assert all(t > 0 for t in times)
+
+    def test_metrics_drain_to_zero(self, dp_app):
+        _, sim = run(dp_app, policy=AlwaysLaunchPolicy())
+        assert sim.metrics.n == 0
+        assert sim.metrics.current_concurrency == 0
+
+    def test_parent_waits_for_children(self, dp_app):
+        """The root kernel's completion is at least its children's last."""
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        root = result.stats.kernels[0]
+        child_completions = [
+            r.completion_time for r in result.stats.kernels.values() if r.is_child
+        ]
+        assert root.completion_time >= max(child_completions)
+
+    def test_nested_children_complete(self):
+        app = make_dp_app(nested=True, child_every=8)
+        result, sim = run(app, policy=AlwaysLaunchPolicy())
+        depths = {r.depth for r in result.stats.kernels.values()}
+        assert depths == {0, 1, 2}
+        assert sim._unfinished_kernels == 0
+
+    def test_decision_at_fraction_defers_launch(self):
+        early = make_dp_app(at_fraction=0.0, base_items=64)
+        late = make_dp_app(at_fraction=1.0, base_items=64)
+        r_early, _ = run(early, policy=AlwaysLaunchPolicy())
+        r_late, _ = run(late, policy=AlwaysLaunchPolicy())
+        first_early = min(r_early.stats.launch_times)
+        first_late = min(r_late.stats.launch_times)
+        assert first_late > first_early
+
+
+class TestDTBL:
+    def test_dtbl_children_bypass_launch_unit(self, dp_app):
+        result, sim = run(dp_app, policy=DTBLPolicy(0))
+        assert result.stats.child_kernels_launched == 32
+        assert sim.launch_unit.kernels_submitted == 0
+
+    def test_dtbl_latency_is_small(self, dp_app):
+        result, sim = run(dp_app, policy=DTBLPolicy(0))
+        for record in result.stats.kernels.values():
+            if record.is_child:
+                assert record.launch_overhead == pytest.approx(
+                    sim.dtbl_coalesce_cycles
+                )
+
+    def test_dtbl_faster_than_kernel_launch_when_overhead_bound(self, dp_app):
+        launched, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        coalesced, _ = run(dp_app, policy=DTBLPolicy(0))
+        assert coalesced.makespan < launched.makespan
+
+
+class TestResourceLimits:
+    def test_hwq_limit_serializes_kernels(self):
+        """More concurrent children than HWQs -> queuing latency appears."""
+        app = make_dp_app(threads=64, child_every=1, child_items=64)
+        result, sim = run(app, policy=AlwaysLaunchPolicy())
+        waits = [
+            r.queuing_latency
+            for r in result.stats.kernels.values()
+            if r.is_child and r.queuing_latency is not None
+        ]
+        assert max(waits) > 0
+
+    def test_oversized_cta_rejected(self):
+        app = make_flat_app(threads_per_cta=64, threads=64)
+        config = small_debug_gpu().replace(max_threads_per_smx=32, max_warps_per_smx=1)
+        with pytest.raises(Exception):
+            GPUSimulator(config=config).run(app)
+
+    def test_stream_policy_serialization_slows_children(self):
+        app = make_dp_app(threads=64, child_every=1, child_items=64)
+        per_child, _ = run(app, policy=AlwaysLaunchPolicy())
+        per_parent, _ = run(
+            app, policy=AlwaysLaunchPolicy(), stream_policy=PerParentCTAStream()
+        )
+        assert per_parent.makespan >= per_child.makespan
+
+    def test_latency_hiding_validation(self):
+        with pytest.raises(SimulationError):
+            GPUSimulator(latency_hiding=0.0)
+        with pytest.raises(SimulationError):
+            GPUSimulator(latency_hiding=1.5)
+
+
+class TestStatsConsistency:
+    def test_every_kernel_has_complete_lifecycle(self, dp_app):
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        for record in result.stats.kernels.values():
+            assert record.arrival_time is not None
+            assert record.first_dispatch_time is not None
+            assert record.completion_time is not None
+            assert record.arrival_time <= record.first_dispatch_time
+            assert record.first_dispatch_time <= record.completion_time
+
+    def test_occupancy_bounded(self, dp_app):
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        assert 0.0 < result.stats.smx_occupancy <= 1.0
+
+    def test_trace_is_time_ordered(self, dp_app):
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        times = [s.time for s in result.stats.trace]
+        assert times == sorted(times)
+
+    def test_launch_cdf_monotone(self, dp_app):
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        cdf = result.stats.launch_cdf()
+        counts = [c for _, c in cdf]
+        assert counts == sorted(counts)
+        assert counts[-1] == result.stats.child_kernels_launched
+
+    def test_summary_keys(self, dp_app):
+        result, _ = run(dp_app, policy=AlwaysLaunchPolicy())
+        summary = result.summary()
+        for key in (
+            "makespan",
+            "child_kernels_launched",
+            "smx_occupancy",
+            "l2_hit_rate",
+            "offload_fraction",
+        ):
+            assert key in summary

@@ -1,0 +1,143 @@
+"""Tests for the experiment modules (reduced scale where possible)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import (
+    fig01_imbalance,
+    fig05_distribution,
+    fig06_concurrency,
+    fig07_cta_size,
+    fig08_streams,
+    fig12_cta_time_pdf,
+    fig15_speedup,
+    fig16_occupancy,
+    fig17_l2,
+    fig18_kernel_count,
+    fig19_timeline,
+    fig20_launch_cdf,
+    fig21_dtbl,
+    tables,
+)
+from repro.harness.runner import Runner
+from repro.workloads import TABLE1_NAMES
+
+#: Cheap benchmarks for reduced-scale experiment tests.
+SUBSET = ("GC-citation", "BFS-citation")
+DEEP = "BFS-citation"
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        expected = {
+            "table1", "table2", "fig01", "fig05", "fig06", "fig07", "fig08",
+            "fig12", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "fig21",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+
+class TestTables:
+    def test_table1_covers_13_benchmarks(self, runner):
+        result = tables.run_table1(runner)
+        assert len(result.rows) == len(TABLE1_NAMES)
+        assert "Breadth-First Search" in {r[0] for r in result.rows}
+
+    def test_table2_reports_paper_constants(self, runner):
+        text = tables.run_table2(runner).table()
+        assert "13 SMXs" in text
+        assert "1721" in text and "20210" in text
+        assert "208 GPU-wide" in text
+
+
+class TestCharacterization:
+    def test_fig01_shows_imbalance(self, runner):
+        result = fig01_imbalance.run(runner)
+        # Top 10% of threads own far more than 10% of the work.
+        shares = {row[0]: row[2] for row in result.rows}
+        top10 = float(shares["top 10% threads"].rstrip("%"))
+        assert top10 > 15.0
+
+    def test_fig05_sweep_points(self, runner):
+        result = fig05_distribution.run(runner, benchmarks=SUBSET)
+        names = {row[0] for row in result.rows}
+        assert names == set(SUBSET)
+        starred = [row for row in result.rows if row[5] == "*"]
+        assert len(starred) == len(SUBSET)
+
+    def test_fig06_trace(self, runner):
+        result = fig06_concurrency.run(runner, benchmark=DEEP)
+        assert result.rows
+        assert "peak concurrent CTAs" in result.notes
+        for row in result.rows:
+            assert row[3] == row[1] + row[2]
+
+    def test_fig07_normalizes_to_cta32(self, runner):
+        result = fig07_cta_size.run(runner, benchmarks=("GC-citation",))
+        row = result.rows[0]
+        assert row[0] == "GC-citation"
+        assert all(isinstance(v, float) and v > 0 for v in row[1:])
+
+    def test_fig08_stream_comparison(self, runner):
+        result = fig08_streams.run(runner, benchmarks=("GC-citation",))
+        assert result.rows[0][1] > 0
+
+    def test_fig12_tightness_fractions(self, runner):
+        result = fig12_cta_time_pdf.run(runner, benchmarks=SUBSET)
+        for row in result.rows:
+            assert row[1] > 0  # child CTAs observed
+            within10 = float(row[3].rstrip("%"))
+            within20 = float(row[4].rstrip("%"))
+            assert within20 >= within10
+
+
+class TestEvaluation:
+    def test_fig15_structure_and_geomean(self, runner):
+        result = fig15_speedup.run(runner, benchmarks=SUBSET)
+        assert result.rows[-1][0] == "GEOMEAN"
+        assert len(result.rows) == len(SUBSET) + 1
+        assert "geomeans" in result.extras
+
+    def test_fig16_occupancy_percentages(self, runner):
+        result = fig16_occupancy.run(runner, benchmarks=SUBSET)
+        for row in result.rows:
+            for cell in row[1:]:
+                assert cell.endswith("%")
+
+    def test_fig17_l2_rates(self, runner):
+        result = fig17_l2.run(runner, benchmarks=SUBSET)
+        assert len(result.rows) == len(SUBSET)
+
+    def test_fig18_spawn_launches_fewer(self, runner):
+        result = fig18_kernel_count.run(runner, benchmarks=SUBSET)
+        for row in result.rows:
+            name, base, offline, spawn = row
+            assert spawn <= base
+
+    def test_fig19_compares_schemes(self, runner):
+        result = fig19_timeline.run(runner, benchmark=DEEP)
+        schemes = {row[0] for row in result.rows}
+        assert schemes == {"baseline-dp", "spawn"}
+
+    def test_fig20_cdf_monotone(self, runner):
+        result = fig20_launch_cdf.run(runner, benchmark=DEEP)
+        for scheme, cdf in result.extras["cdfs"].items():
+            counts = [c for _, c in cdf]
+            assert counts == sorted(counts)
+
+    def test_fig21_dtbl_columns(self, runner):
+        result = fig21_dtbl.run(runner, pairs=(("SSSP", "SSSP-citation"),))
+        row = result.rows[0]
+        assert row[0] == "SSSP"
+        assert row[2] > 0 and row[3] > 0
+
+    def test_experiment_result_table_renders(self, runner):
+        result = fig18_kernel_count.run(runner, benchmarks=("GC-citation",))
+        text = result.table()
+        assert "fig18" in text
+        assert "GC-citation" in text

@@ -1,0 +1,34 @@
+"""Tests for the bootstrap-sensitivity extension experiment."""
+
+import pytest
+
+from repro.experiments import EXTRA_EXPERIMENTS
+from repro.experiments.extra_bootstrap import run as bootstrap
+from repro.harness.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+def test_registered():
+    assert "bootstrap-sensitivity" in EXTRA_EXPERIMENTS
+
+
+def test_scales_sweep_b(runner):
+    result = bootstrap(
+        runner, benchmarks=("GC-citation",), scales=(1.0, 0.1)
+    )
+    assert [row[1] for row in result.rows] == [20210, 2021]
+    for row in result.rows:
+        assert row[2] > 0 and row[3] > 0
+
+
+def test_feedback_delay_explains_gap_on_sssp_citation(runner):
+    """With a tiny b, SPAWN closes its gap to Offline-Search here."""
+    result = bootstrap(
+        runner, benchmarks=("SSSP-citation",), scales=(1.0, 0.05)
+    )
+    ratios = [row[4] for row in result.rows]
+    assert ratios[1] >= ratios[0]

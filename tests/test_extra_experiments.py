@@ -1,0 +1,45 @@
+"""Tests for extension experiments beyond the paper's evaluation."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, EXTRA_EXPERIMENTS
+from repro.experiments.extra_policy_matrix import run as policy_matrix
+from repro.harness.runner import Runner
+
+SUBSET = ("GC-citation",)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+class TestRegistry:
+    def test_extras_are_separate_from_paper_experiments(self):
+        assert "policy-matrix" in EXTRA_EXPERIMENTS
+        assert "policy-matrix" not in ALL_EXPERIMENTS
+
+
+class TestPolicyMatrix:
+    def test_columns_cover_all_mechanisms(self, runner):
+        result = policy_matrix(runner, benchmarks=SUBSET)
+        assert result.headers == [
+            "benchmark",
+            "Baseline-DP",
+            "SPAWN",
+            "DTBL",
+            "Free Launch",
+        ]
+        assert result.rows[-1][0] == "GEOMEAN"
+
+    def test_all_speedups_positive(self, runner):
+        result = policy_matrix(runner, benchmarks=SUBSET)
+        for row in result.rows:
+            assert all(v > 0 for v in row[1:])
+
+    def test_dtbl_dominates_baseline(self, runner):
+        """At this scale, removing launch overhead always helps."""
+        result = policy_matrix(runner, benchmarks=SUBSET)
+        per = result.row_dict()
+        name = SUBSET[0]
+        assert per[name][3] >= per[name][1]  # DTBL >= Baseline-DP

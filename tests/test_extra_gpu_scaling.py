@@ -1,0 +1,26 @@
+"""Tests for the GPU-scaling extension experiment."""
+
+import pytest
+
+from repro.experiments import EXTRA_EXPERIMENTS
+from repro.experiments.extra_gpu_scaling import run as gpu_scaling, scaled_config
+
+
+def test_registered():
+    assert "gpu-scaling" in EXTRA_EXPERIMENTS
+
+
+def test_scaled_config_rounds_and_clamps():
+    half = scaled_config(0.5, 0.5)
+    assert half.num_smx == 6
+    assert half.num_hwq == 16
+    tiny = scaled_config(0.01, 0.01)
+    assert tiny.num_smx == 1
+    assert tiny.num_hwq == 1
+
+
+def test_spawn_advantage_persists_across_scales():
+    result = gpu_scaling(benchmarks=("GC-citation",))
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row[4] > 1.0  # SPAWN / Baseline stays above one

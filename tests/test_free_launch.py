@@ -1,0 +1,75 @@
+"""Tests for the Free Launch comparator policy (thread reuse)."""
+
+import pytest
+
+from repro.core.policies import DecisionKind, FreeLaunchPolicy, LaunchRequest
+from repro.core.policies import AlwaysLaunchPolicy, NeverLaunchPolicy
+from repro.errors import ConfigError
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator
+
+from tests.conftest import make_dp_app
+
+
+def request(items):
+    return LaunchRequest(time=0.0, items=items, num_ctas=1, items_per_thread=1, depth=1)
+
+
+def run(app, policy):
+    return GPUSimulator(config=small_debug_gpu(), policy=policy).run(app)
+
+
+class TestPolicy:
+    def test_reuses_above_threshold(self):
+        policy = FreeLaunchPolicy(10)
+        assert policy.decide(request(11)) is DecisionKind.REUSE
+        assert policy.decide(request(10)) is DecisionKind.SERIAL
+
+    def test_default_threshold_reuses_everything(self):
+        assert FreeLaunchPolicy().decide(request(1)) is DecisionKind.REUSE
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigError):
+            FreeLaunchPolicy(-1)
+
+
+class TestEngineReuse:
+    def test_no_kernels_launched(self, dp_app):
+        result = run(dp_app, FreeLaunchPolicy())
+        assert result.stats.child_kernels_launched == 0
+        assert result.stats.child_kernels_reused == 32
+        # Only the root kernel exists.
+        assert len(result.stats.kernels) == 1
+
+    def test_work_stays_in_parent(self, dp_app):
+        result = run(dp_app, FreeLaunchPolicy())
+        assert result.stats.items_in_child == 0
+        assert result.stats.items_in_parent == dp_app.flat_items
+
+    def test_reuse_faster_than_serial_decline(self):
+        """Spreading work over the CTA beats one thread looping over it."""
+        app = make_dp_app(threads=64, child_every=16, child_items=2000)
+        reuse = run(app, FreeLaunchPolicy())
+        serial = run(make_dp_app(threads=64, child_every=16, child_items=2000),
+                     NeverLaunchPolicy())
+        assert reuse.makespan < serial.makespan
+
+    def test_reuse_avoids_launch_overhead(self):
+        """For tiny children, reuse beats paying A*x+b per launch."""
+        app = make_dp_app(threads=256, child_every=1, child_items=8, base_items=2)
+        reuse = run(make_dp_app(threads=256, child_every=1, child_items=8,
+                                base_items=2), FreeLaunchPolicy())
+        launch = run(app, AlwaysLaunchPolicy())
+        assert reuse.makespan < launch.makespan
+
+    def test_reuse_shares_accumulate(self):
+        """Successive reused children extend the same parent CTA."""
+        one = make_dp_app(threads=32, child_every=32, child_items=640)
+        two = make_dp_app(threads=32, child_every=16, child_items=640)
+        r_one = run(one, FreeLaunchPolicy())
+        r_two = run(two, FreeLaunchPolicy())
+        assert r_two.makespan > r_one.makespan
+
+    def test_summary_reports_reuse(self, dp_app):
+        result = run(dp_app, FreeLaunchPolicy())
+        assert result.summary()["child_kernels_reused"] == 32

@@ -1,0 +1,132 @@
+"""Unit tests for the Grid Management Unit (streams, HWQs, dispatch order)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.config import small_debug_gpu
+from repro.sim.gmu import GMU
+from repro.sim.instances import KernelInstance, KernelState
+from repro.sim.kernel import KernelSpec
+
+
+def make_kernel(kid=0, stream=0, ctas=2):
+    spec = KernelSpec(
+        name=f"k{kid}",
+        threads_per_cta=32,
+        thread_items=np.ones(32 * ctas, dtype=np.int64),
+    )
+    return KernelInstance(kid, spec, stream_id=stream, is_child=False)
+
+
+@pytest.fixture
+def gmu():
+    return GMU(small_debug_gpu())  # 4 HWQs
+
+
+class TestBinding:
+    def test_submit_binds_stream_and_activates_head(self, gmu):
+        kernel = make_kernel()
+        gmu.submit(kernel)
+        assert kernel.state is KernelState.EXECUTING
+        assert gmu.num_bound == 1
+
+    def test_hwq_limit_enforced(self, gmu):
+        kernels = [make_kernel(kid=i, stream=i) for i in range(6)]
+        for kernel in kernels:
+            gmu.submit(kernel)
+        assert gmu.num_bound == 4
+        assert gmu.num_waiting_streams == 2
+        assert kernels[4].state is KernelState.PENDING
+
+    def test_fcfs_binding_order(self, gmu):
+        kernels = [make_kernel(kid=i, stream=i) for i in range(6)]
+        for kernel in kernels:
+            gmu.submit(kernel)
+        executing = {k.kernel_id for k in gmu.executing_kernels()}
+        assert executing == {0, 1, 2, 3}
+        # Completing stream 0's kernel binds stream 4 (FCFS).
+        self._finish(gmu, kernels[0])
+        executing = {k.kernel_id for k in gmu.executing_kernels()}
+        assert executing == {1, 2, 3, 4}
+
+    @staticmethod
+    def _finish(gmu, kernel):
+        while kernel.has_undispatched_ctas:
+            kernel.take_next_cta_index()
+        gmu.on_kernel_complete(kernel)
+
+    def test_same_stream_kernels_serialize(self, gmu):
+        first = make_kernel(kid=0, stream=7)
+        second = make_kernel(kid=1, stream=7)
+        gmu.submit(first)
+        gmu.submit(second)
+        assert first.state is KernelState.EXECUTING
+        assert second.state is KernelState.PENDING
+        assert gmu.num_bound == 1
+        self._finish(gmu, first)
+        assert second.state is KernelState.EXECUTING
+
+    def test_pending_kernel_counter(self, gmu):
+        for i in range(3):
+            gmu.submit(make_kernel(kid=i, stream=i))
+        assert gmu.pending_kernels == 3
+        assert gmu.peak_pending_kernels == 3
+
+
+class TestDispatchIteration:
+    def test_yields_only_kernels_with_ctas(self, gmu):
+        kernel = make_kernel()
+        gmu.submit(kernel)
+        assert list(gmu.dispatchable_kernels()) == [kernel]
+        kernel.take_next_cta_index()
+        kernel.take_next_cta_index()
+        assert list(gmu.dispatchable_kernels()) == []
+
+    def test_round_robin_cursor_persists(self, gmu):
+        a = make_kernel(kid=0, stream=0, ctas=4)
+        b = make_kernel(kid=1, stream=1, ctas=4)
+        gmu.submit(a)
+        gmu.submit(b)
+        first_pass = [k.kernel_id for k in gmu.dispatchable_kernels()]
+        assert sorted(first_pass) == [0, 1]
+        # Consuming only the first yield advances the cursor past it, so a
+        # fresh iteration starts from the other stream.
+        gen = gmu.dispatchable_kernels()
+        first = next(gen)
+        gen.close()
+        second = next(gmu.dispatchable_kernels())
+        assert first is not second
+
+
+class TestCompletion:
+    def test_complete_non_head_raises(self, gmu):
+        first = make_kernel(kid=0, stream=3)
+        second = make_kernel(kid=1, stream=3)
+        gmu.submit(first)
+        gmu.submit(second)
+        with pytest.raises(SimulationError):
+            gmu.on_kernel_complete(second)
+
+    def test_complete_releases_hwq(self, gmu):
+        kernel = make_kernel()
+        gmu.submit(kernel)
+        gmu.on_kernel_complete(kernel)
+        assert gmu.num_bound == 0
+        assert gmu.drained()
+        assert kernel.state is KernelState.COMPLETE
+
+    def test_suspension_releases_hwq_but_not_completion(self, gmu):
+        kernel = make_kernel()
+        gmu.submit(kernel)
+        gmu.on_kernel_suspended(kernel)
+        assert gmu.num_bound == 0
+        assert kernel.state is KernelState.PENDING
+
+    def test_suspension_lets_waiting_stream_in(self, gmu):
+        kernels = [make_kernel(kid=i, stream=i) for i in range(5)]
+        for kernel in kernels:
+            gmu.submit(kernel)
+        assert kernels[4].state is KernelState.PENDING
+        gmu.on_kernel_suspended(kernels[0])
+        assert kernels[4].state is KernelState.EXECUTING

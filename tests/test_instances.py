@@ -1,0 +1,180 @@
+"""Unit tests for runtime kernel/CTA instances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.instances import (
+    CTAInstance,
+    CTAState,
+    KernelInstance,
+    KernelState,
+    PendingDecision,
+)
+from repro.sim.kernel import ChildRequest, KernelSpec
+
+
+def make_kernel(num_threads=64, threads_per_cta=32, **kwargs) -> KernelInstance:
+    spec = KernelSpec(
+        name="k",
+        threads_per_cta=threads_per_cta,
+        thread_items=np.ones(num_threads, dtype=np.int64),
+    )
+    return KernelInstance(0, spec, stream_id=0, **kwargs)
+
+
+def make_cta(kernel=None, warp_total=(100.0,), warp_issue=(50.0,), decisions=None, **kw):
+    kernel = kernel or make_kernel(num_threads=32, is_child=False)
+    return CTAInstance(
+        kernel,
+        0,
+        num_threads=32,
+        num_warps=len(warp_total),
+        regs=32 * 16,
+        shmem=0,
+        warp_total=list(warp_total),
+        warp_issue=list(warp_issue),
+        decisions=decisions,
+        **kw,
+    )
+
+
+def decision(at, warp=0, tid=0) -> PendingDecision:
+    return PendingDecision(
+        at_consumed=at,
+        warp=warp,
+        tid=tid,
+        request=ChildRequest(name="c", items=8, cta_threads=32),
+    )
+
+
+class TestKernelInstance:
+    def test_initial_state(self):
+        kernel = make_kernel(is_child=False)
+        assert kernel.state is KernelState.PENDING
+        assert kernel.num_ctas == 2
+        assert kernel.unfinished_ctas == 2
+        assert kernel.computing_ctas == 2
+        assert not kernel.via_dtbl
+
+    def test_take_next_cta_index_sequences(self):
+        kernel = make_kernel(is_child=False)
+        assert kernel.take_next_cta_index() == 0
+        assert kernel.take_next_cta_index() == 1
+        assert not kernel.has_undispatched_ctas
+        with pytest.raises(SimulationError):
+            kernel.take_next_cta_index()
+
+    def test_cta_finished_completion(self):
+        kernel = make_kernel(is_child=False)
+        assert kernel.cta_finished() is False
+        assert kernel.cta_finished() is True
+        with pytest.raises(SimulationError):
+            kernel.cta_finished()
+
+    def test_record_mirrors_identity(self):
+        kernel = make_kernel(is_child=True)
+        assert kernel.record.is_child
+        assert kernel.record.num_ctas == kernel.num_ctas
+
+
+class TestCTAProgress:
+    def test_initial_geometry(self):
+        cta = make_cta(warp_total=[100.0, 150.0], warp_issue=[50.0, 75.0])
+        assert cta.total_work == 150.0
+        assert cta.remaining == 150.0
+        assert cta.consumed == 0.0
+        assert not cta.compute_finished
+
+    def test_demand_sums_warp_issue_fractions(self):
+        cta = make_cta(warp_total=[100.0, 100.0], warp_issue=[50.0, 100.0])
+        assert cta.demand == pytest.approx(1.5)
+
+    def test_demand_scale_discounts(self):
+        cta = make_cta(warp_total=[100.0], warp_issue=[100.0], demand_scale=0.5)
+        assert cta.demand == pytest.approx(0.5)
+
+    def test_compute_finished_when_consumed(self):
+        cta = make_cta()
+        cta.consumed = 100.0
+        assert cta.compute_finished
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(SimulationError):
+            make_cta(warp_total=[100.0, 50.0], warp_issue=[10.0])
+        with pytest.raises(SimulationError):
+            make_cta(warp_total=[0.0], warp_issue=[0.0])
+
+    def test_exec_time_requires_completion(self):
+        cta = make_cta()
+        with pytest.raises(SimulationError):
+            _ = cta.exec_time
+        cta.dispatch_time = 10.0
+        cta.compute_done_time = 110.0
+        assert cta.exec_time == 100.0
+
+
+class TestDecisions:
+    def test_decisions_sorted_by_progress_point(self):
+        cta = make_cta(decisions=[decision(80), decision(20), decision(50)])
+        points = [d.at_consumed for d in cta.decisions]
+        assert points == [20, 50, 80]
+        assert cta.next_decision_point == 20
+
+    def test_decision_beyond_base_work_rejected(self):
+        with pytest.raises(SimulationError):
+            make_cta(decisions=[decision(101)])
+
+    def test_pop_fired_respects_progress(self):
+        cta = make_cta(decisions=[decision(20), decision(50)])
+        assert cta.pop_fired_decisions() == []
+        cta.consumed = 30
+        fired = cta.pop_fired_decisions()
+        assert len(fired) == 1 and fired[0].at_consumed == 20
+        assert cta.next_decision_point == 50
+
+    def test_compute_not_finished_until_decisions_fired(self):
+        cta = make_cta(decisions=[decision(100)])
+        cta.consumed = 100
+        assert not cta.compute_finished
+        cta.pop_fired_decisions()
+        assert cta.compute_finished
+
+
+class TestExtendThread:
+    def test_single_thread_extension_grows_warp(self):
+        cta = make_cta()
+        cta.extend_thread(0, 5, 40.0, 20.0)
+        assert cta.total_work == 140.0
+        assert cta.warp_total[0] == 140.0
+
+    def test_same_thread_extensions_accumulate(self):
+        cta = make_cta()
+        cta.extend_thread(0, 5, 40.0, 20.0)
+        cta.extend_thread(0, 5, 40.0, 20.0)
+        assert cta.total_work == 180.0
+
+    def test_different_threads_overlap_in_simt(self):
+        """Two threads' serial loops overlap: warp grows to the max, not sum."""
+        cta = make_cta()
+        cta.extend_thread(0, 5, 40.0, 20.0)
+        cta.extend_thread(0, 6, 30.0, 15.0)
+        assert cta.total_work == 140.0
+        cta.extend_thread(0, 6, 30.0, 15.0)  # thread 6 now at 60 > 40
+        assert cta.total_work == 160.0
+
+    def test_extension_updates_demand_on_refresh(self):
+        cta = make_cta(warp_total=[100.0], warp_issue=[50.0])
+        before = cta.demand
+        cta.extend_thread(0, 1, 100.0, 100.0)
+        assert cta.refresh_demand() > before
+
+    def test_rejects_negative_extension(self):
+        with pytest.raises(SimulationError):
+            make_cta().extend_thread(0, 0, -1.0, 0.0)
+
+    def test_state_transitions(self):
+        cta = make_cta()
+        assert cta.state is CTAState.RUNNING
+        cta.state = CTAState.WAITING_CHILDREN
+        assert cta.state is CTAState.WAITING_CHILDREN

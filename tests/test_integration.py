@@ -1,0 +1,121 @@
+"""Cross-module integration tests: policies, schemes, and system behaviour.
+
+These run the full simulator on micro-apps and one small real benchmark,
+checking the *relationships* the paper's mechanism is built on rather than
+absolute numbers.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    AlwaysLaunchPolicy,
+    NeverLaunchPolicy,
+    SpawnPolicy,
+    StaticThresholdPolicy,
+)
+from repro.harness.runner import RunConfig, Runner
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator
+from repro.workloads import get_benchmark
+
+from tests.conftest import make_dp_app
+
+FAST = "GC-citation"
+
+
+def run(app, policy, **kwargs):
+    return GPUSimulator(config=small_debug_gpu(), policy=policy, **kwargs).run(app)
+
+
+class TestThresholdMonotonicity:
+    def test_higher_threshold_less_offload(self):
+        app_builder = lambda: make_dp_app(threads=96, child_every=3, child_items=48)
+        offloads = []
+        launches = []
+        for threshold in (0, 47, 48):
+            result = run(app_builder(), StaticThresholdPolicy(threshold))
+            offloads.append(result.stats.offload_fraction)
+            launches.append(result.stats.child_kernels_launched)
+        assert offloads[0] >= offloads[1] >= offloads[2]
+        assert launches == [32, 32, 0]
+
+
+class TestSpawnBehaviour:
+    def test_spawn_launch_count_between_extremes(self):
+        app = make_dp_app(threads=256, child_every=1, child_items=16, base_items=32)
+        always = run(app, AlwaysLaunchPolicy()).stats.child_kernels_launched
+        spawn = run(app, SpawnPolicy()).stats.child_kernels_launched
+        never = run(app, NeverLaunchPolicy()).stats.child_kernels_launched
+        assert never <= spawn <= always
+
+    def test_spawn_throttles_tiny_children_on_real_benchmark(self):
+        runner = Runner()
+        base = runner.run(RunConfig(benchmark=FAST, scheme="baseline-dp"))
+        spawn = runner.run(RunConfig(benchmark=FAST, scheme="spawn"))
+        assert (
+            spawn.stats.child_kernels_launched
+            < base.stats.child_kernels_launched
+        )
+        # Throttling must not lose work.
+        total_base = base.stats.items_in_parent + base.stats.items_in_child
+        total_spawn = spawn.stats.items_in_parent + spawn.stats.items_in_child
+        assert total_base == total_spawn
+
+    def test_spawn_beats_baseline_on_real_benchmark(self):
+        runner = Runner()
+        base = runner.run(RunConfig(benchmark=FAST, scheme="baseline-dp"))
+        spawn = runner.run(RunConfig(benchmark=FAST, scheme="spawn"))
+        assert spawn.makespan < base.makespan
+
+
+class TestOverheadRelationships:
+    def test_launch_storm_slows_execution(self):
+        """Launching many tiny children costs more than it parallelizes."""
+        app = make_dp_app(threads=256, child_every=1, child_items=8, base_items=2)
+        launched = run(app, AlwaysLaunchPolicy())
+        declined = run(app, NeverLaunchPolicy())
+        assert launched.makespan > declined.makespan
+
+    def test_offload_helps_heavy_imbalance(self):
+        """Launching a few heavyweight children beats serializing them."""
+        app = make_dp_app(threads=64, child_every=16, child_items=4000, base_items=2)
+        launched = run(app, AlwaysLaunchPolicy())
+        declined = run(app, NeverLaunchPolicy())
+        assert launched.makespan < declined.makespan
+
+    def test_queuing_latency_grows_with_kernel_count(self):
+        few = make_dp_app(threads=64, child_every=8, child_items=32)
+        many = make_dp_app(threads=512, child_every=1, child_items=32)
+        r_few = run(few, AlwaysLaunchPolicy())
+        r_many = run(many, AlwaysLaunchPolicy())
+        assert (
+            r_many.stats.mean_child_queuing_latency
+            >= r_few.stats.mean_child_queuing_latency
+        )
+
+
+class TestCacheLocality:
+    def test_delayed_children_lose_locality(self):
+        """More concurrent children -> more L2 contention -> lower hit rate."""
+        calm = make_dp_app(threads=64, child_every=8, child_items=64)
+        stormy = make_dp_app(threads=512, child_every=1, child_items=64)
+        r_calm = run(calm, AlwaysLaunchPolicy())
+        r_stormy = run(stormy, AlwaysLaunchPolicy())
+        assert r_calm.stats.l2_hit_rate >= r_stormy.stats.l2_hit_rate - 0.05
+
+
+class TestSeeds:
+    def test_different_seeds_change_inputs(self):
+        bench = get_benchmark(FAST)
+        a = bench.dp(seed=1)
+        b = bench.dp(seed=2)
+        items_a = [int(spec.thread_items.sum()) for spec in a.kernels]
+        items_b = [int(spec.thread_items.sum()) for spec in b.kernels]
+        assert items_a != items_b
+
+    def test_same_seed_reproduces(self):
+        runner_a = Runner()
+        runner_b = Runner()
+        ra = runner_a.run(RunConfig(benchmark=FAST, scheme="baseline-dp", seed=3))
+        rb = runner_b.run(RunConfig(benchmark=FAST, scheme="baseline-dp", seed=3))
+        assert ra.makespan == rb.makespan

@@ -1,0 +1,98 @@
+"""Unit tests for the device-side launch unit (A*x + b model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.sim.config import LaunchOverheadConfig
+from repro.sim.events import EventQueue
+from repro.sim.instances import KernelInstance
+from repro.sim.kernel import KernelSpec
+from repro.sim.launch import LaunchUnit
+
+
+def make_child(kid):
+    spec = KernelSpec(
+        name=f"c{kid}", threads_per_cta=32, thread_items=np.ones(32, dtype=np.int64)
+    )
+    return KernelInstance(kid, spec, stream_id=kid, is_child=True)
+
+
+def make_unit(slots=2, slope=100, base=1000):
+    queue = EventQueue()
+    arrived = []
+    unit = LaunchUnit(
+        LaunchOverheadConfig(slope_cycles=slope, base_cycles=base, service_slots=slots),
+        queue,
+        lambda k: arrived.append((queue.now, k)),
+    )
+    return queue, unit, arrived
+
+
+class TestLatencyModel:
+    def test_single_kernel_latency_is_slope_plus_base(self):
+        queue, unit, arrived = make_unit()
+        unit.submit_batch([make_child(0)])
+        queue.run()
+        assert arrived[0][0] == pytest.approx(1100)
+
+    def test_batch_latency_scales_with_size(self):
+        queue, unit, arrived = make_unit()
+        unit.submit_batch([make_child(i) for i in range(3)])
+        queue.run()
+        assert all(t == pytest.approx(1300) for t, _ in arrived)
+        assert len(arrived) == 3
+
+    def test_launch_call_time_recorded(self):
+        queue, unit, _ = make_unit()
+        child = make_child(0)
+        unit.submit_batch([child])
+        assert child.record.launch_call_time == 0.0
+
+    def test_empty_batch_rejected(self):
+        _, unit, _ = make_unit()
+        with pytest.raises(LaunchError):
+            unit.submit_batch([])
+
+
+class TestServiceSlots:
+    def test_bursts_queue_beyond_slots(self):
+        queue, unit, arrived = make_unit(slots=1, slope=100, base=0)
+        unit.submit_batch([make_child(0)])
+        unit.submit_batch([make_child(1)])
+        queue.run()
+        times = sorted(t for t, _ in arrived)
+        # Second batch waits for the first's occupancy (100 cycles).
+        assert times == [pytest.approx(100), pytest.approx(200)]
+
+    def test_parallel_service_within_slots(self):
+        queue, unit, arrived = make_unit(slots=2, slope=100, base=0)
+        unit.submit_batch([make_child(0)])
+        unit.submit_batch([make_child(1)])
+        queue.run()
+        assert [t for t, _ in arrived] == [pytest.approx(100)] * 2
+
+    def test_base_latency_overlaps_across_batches(self):
+        queue, unit, arrived = make_unit(slots=1, slope=100, base=1000)
+        unit.submit_batch([make_child(0)])
+        unit.submit_batch([make_child(1)])
+        queue.run()
+        times = sorted(t for t, _ in arrived)
+        # Slot frees after the occupancy (100), not the full latency.
+        assert times == [pytest.approx(1100), pytest.approx(1200)]
+
+    def test_queue_delay_telemetry(self):
+        queue, unit, _ = make_unit(slots=1, slope=100, base=0)
+        unit.submit_batch([make_child(0)])
+        unit.submit_batch([make_child(1)])
+        queue.run()
+        batches, kernels, delay = unit.stats()
+        assert (batches, kernels) == (2, 2)
+        assert delay == pytest.approx(100)
+
+    def test_backlog_tracking(self):
+        queue, unit, _ = make_unit(slots=1)
+        unit.submit_batch([make_child(0)])
+        unit.submit_batch([make_child(1)])
+        assert unit.busy_slots == 1
+        assert unit.backlog == 1

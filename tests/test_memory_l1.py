@@ -1,0 +1,105 @@
+"""Tests for the optional per-SMX L1 layer (Table II's 16KB 4-way D-cache)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import CacheConfig, GPUConfig, MemoryConfig
+from repro.sim.engine import GPUSimulator
+from repro.sim.memory import MemorySystem
+
+from tests.conftest import make_flat_app
+
+
+def l1_config(**kwargs) -> MemoryConfig:
+    return MemoryConfig(l1_enabled=True, **kwargs)
+
+
+class TestConfig:
+    def test_l1_defaults_match_table2(self):
+        mem = MemoryConfig()
+        assert mem.l1.size_bytes == 16 * 1024
+        assert mem.l1.associativity == 4
+        assert not mem.l1_enabled
+
+    def test_line_sizes_must_match(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(
+                l1=CacheConfig(size_bytes=16 * 1024, line_bytes=64, associativity=4)
+            )
+
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(l1_hit_cycles=200, l2_hit_cycles=120)
+
+    def test_two_level_stall_model(self):
+        mem = MemoryConfig(l1_hit_cycles=20, l2_hit_cycles=100, dram_cycles=300, mlp=1.0)
+        assert mem.stall_cycles_two_level(1.0, 0.0) == 20
+        assert mem.stall_cycles_two_level(0.0, 1.0) == 100
+        assert mem.stall_cycles_two_level(0.0, 0.0) == 300
+        assert mem.stall_cycles_two_level(0.5, 0.5) == pytest.approx(
+            0.5 * 20 + 0.25 * 100 + 0.25 * 300
+        )
+
+    def test_two_level_stall_validates_rates(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig().stall_cycles_two_level(1.2, 0.0)
+
+
+class TestMemorySystemL1:
+    def test_requires_num_smx(self):
+        with pytest.raises(ConfigError):
+            MemorySystem(l1_config())
+
+    def test_one_l1_per_smx(self):
+        mem = MemorySystem(l1_config(), num_smx=4)
+        assert len(mem.l1s) == 4
+
+    def test_l1_hit_filters_l2(self):
+        mem = MemorySystem(l1_config(), num_smx=2)
+        mem.cta_access([(0, 256)], smx_index=0)
+        l2_before = mem.l2.accesses
+        # Re-access from the same SMX: L1 absorbs everything.
+        mem.cta_access([(0, 256)], smx_index=0)
+        assert mem.l2.accesses == l2_before
+        assert mem.l1_hit_rate > 0
+
+    def test_l1s_are_private_per_smx(self):
+        mem = MemorySystem(l1_config(), num_smx=2)
+        mem.cta_access([(0, 256)], smx_index=0)
+        # A different SMX misses its own L1 but hits the shared L2.
+        stall, l2_rate = mem.cta_access([(0, 256)], smx_index=1)
+        assert l2_rate == 1.0
+        assert mem.l1s[1].misses == 2
+
+    def test_stall_lower_with_l1_hits(self):
+        mem = MemorySystem(l1_config(mlp=1.0), num_smx=1)
+        stall_cold, _ = mem.cta_access([(0, 256)], smx_index=0)
+        stall_warm, _ = mem.cta_access([(0, 256)], smx_index=0)
+        assert stall_warm < stall_cold
+        assert stall_warm == pytest.approx(mem.config.l1_hit_cycles)
+
+    def test_disabled_l1_ignores_smx_index(self):
+        mem = MemorySystem(MemoryConfig(), num_smx=4)
+        stall, rate = mem.cta_access([(0, 256)], smx_index=2)
+        assert rate == 0.0  # cold L2
+        assert mem.l1s == []
+
+
+class TestEngineWithL1:
+    def test_simulation_runs_and_reports_both_levels(self):
+        config = GPUConfig(memory=l1_config())
+        sim = GPUSimulator(config=config)
+        result = sim.run(make_flat_app(threads=128, items=16))
+        assert result.makespan > 0
+        assert sim.memory.l1s  # L1s were built
+        total_l1 = sum(c.accesses for c in sim.memory.l1s)
+        assert total_l1 > 0
+
+    def test_l1_does_not_change_scheme_ordering(self):
+        """Enabling the L1 shifts cycles but keeps flat-vs-flat ordering."""
+        light = make_flat_app(items=4, name="light")
+        heavy = make_flat_app(items=40, name="heavy")
+        config = GPUConfig(memory=l1_config())
+        r_light = GPUSimulator(config=config).run(light)
+        r_heavy = GPUSimulator(config=config).run(heavy)
+        assert r_heavy.makespan > r_light.makespan

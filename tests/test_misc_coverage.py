@@ -1,0 +1,131 @@
+"""Additional targeted tests rounding out module coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricsMonitor
+from repro.errors import WorkloadError
+from repro.harness.report import format_series
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator, SimResult
+from repro.sim.gmu import GMU
+from repro.sim.instances import KernelInstance, KernelState
+from repro.sim.kernel import KernelSpec
+from repro.sim.stats import SimStats
+from repro.workloads._traversal import TraversalCosts, build_round_kernels
+from repro.workloads.graphs import citation_graph
+
+from tests.conftest import make_flat_app
+
+
+class TestTraversalBuilder:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return citation_graph(num_vertices=400, edges_per_vertex=3, seed=9)
+
+    def test_rejects_empty_rounds(self, graph):
+        with pytest.raises(WorkloadError):
+            build_round_kernels(
+                "x", graph, [], dp=True, min_offload=8, cta_threads=32,
+                costs=TraversalCosts(),
+            )
+
+    def test_skips_empty_round_arrays(self, graph):
+        rounds = [np.array([0, 1, 2]), np.array([], dtype=np.int64), np.array([3])]
+        app = build_round_kernels(
+            "x", graph, rounds, dp=False, min_offload=8, cta_threads=32,
+            costs=TraversalCosts(),
+        )
+        assert len(app.kernels) == 2
+
+    def test_flat_items_independent_of_variant(self, graph):
+        rounds = [np.arange(100, dtype=np.int64)]
+        flat = build_round_kernels(
+            "x", graph, rounds, dp=False, min_offload=8, cta_threads=32,
+            costs=TraversalCosts(),
+        )
+        dp = build_round_kernels(
+            "x", graph, rounds, dp=True, min_offload=8, cta_threads=32,
+            costs=TraversalCosts(),
+        )
+        assert flat.flat_items == dp.flat_items
+
+    def test_min_offload_controls_request_count(self, graph):
+        rounds = [np.arange(graph.num_vertices, dtype=np.int64)]
+        loose = build_round_kernels(
+            "x", graph, rounds, dp=True, min_offload=2, cta_threads=32,
+            costs=TraversalCosts(),
+        )
+        strict = build_round_kernels(
+            "x", graph, rounds, dp=True, min_offload=50, cta_threads=32,
+            costs=TraversalCosts(),
+        )
+        assert loose.kernels[0].num_child_requests() > strict.kernels[
+            0
+        ].num_child_requests()
+
+
+class TestGMUSuccession:
+    def test_next_kernel_in_stream_becomes_head_after_suspension(self):
+        gmu = GMU(small_debug_gpu())
+        spec = KernelSpec(
+            name="k", threads_per_cta=32, thread_items=np.ones(32, dtype=np.int64)
+        )
+        first = KernelInstance(0, spec, stream_id=5, is_child=True)
+        second = KernelInstance(1, spec, stream_id=5, is_child=True)
+        gmu.submit(first)
+        gmu.submit(second)
+        first.take_next_cta_index()
+        gmu.on_kernel_suspended(first)
+        assert second.state is KernelState.EXECUTING
+
+
+class TestMetricsPeaks:
+    def test_peak_n_tracks_high_watermark(self):
+        monitor = MetricsMonitor(window_cycles=128)
+        monitor.on_ctas_admitted(5)
+        monitor.on_cta_started(0.0)
+        monitor.on_cta_finished(10.0, exec_time=10.0, items_per_thread=1)
+        assert monitor.peak_n == 5
+        monitor.on_ctas_admitted(2)
+        assert monitor.peak_n == 6
+        assert monitor.n == 6
+
+
+class TestStatsFinalization:
+    def test_finalize_is_idempotent_for_occupancy(self):
+        stats = SimStats()
+        stats.set_capacity(10, 10, 10)
+        stats.record_state(0.0, parent_ctas=1, child_ctas=0, warps=10, regs=0, shmem=0)
+        stats.finalize(100.0)
+        first = stats.smx_occupancy
+        stats.finalize(100.0)
+        assert stats.smx_occupancy == first
+
+
+class TestSimResult:
+    def test_repr_mentions_app_and_policy(self):
+        result = GPUSimulator(config=small_debug_gpu()).run(make_flat_app())
+        text = repr(result)
+        assert "flat-app" in text
+        assert "makespan" in text
+
+    def test_result_is_simresult(self):
+        result = GPUSimulator(config=small_debug_gpu()).run(make_flat_app())
+        assert isinstance(result, SimResult)
+
+
+class TestReportSeries:
+    def test_format_series_includes_name_and_tail(self):
+        text = format_series("cdf", [(1.0, 1), (2.0, 2), (3.0, 3)])
+        assert "series: cdf" in text
+        assert "3" in text
+
+
+class TestL2AccountingConsistency:
+    def test_stats_l2_matches_memory_counters(self):
+        sim = GPUSimulator(config=small_debug_gpu())
+        result = sim.run(make_flat_app())
+        assert result.stats.l2_hits == sim.memory.l2.hits
+        assert result.stats.l2_misses == sim.memory.l2.misses
+        assert result.stats.l2_hits + result.stats.l2_misses > 0

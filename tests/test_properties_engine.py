@@ -1,0 +1,139 @@
+"""Property-based tests on whole-simulation invariants.
+
+Hypothesis generates random micro-applications (grid sizes, work
+distributions, child requests, launch positions) and random policies; the
+invariants below must hold for every one of them:
+
+* the simulation terminates with every kernel complete,
+* work items are conserved across parent/child partitioning,
+* SPAWN's CCQS population returns to zero,
+* per-kernel lifecycle timestamps are ordered,
+* occupancy stays within [0, 1].
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    AlwaysLaunchPolicy,
+    DTBLPolicy,
+    FreeLaunchPolicy,
+    NeverLaunchPolicy,
+    SpawnPolicy,
+    StaticThresholdPolicy,
+)
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator
+from repro.sim.kernel import Application, ChildRequest, KernelSpec
+
+
+@st.composite
+def micro_apps(draw):
+    threads = draw(st.integers(min_value=1, max_value=96))
+    threads_per_cta = draw(st.sampled_from([8, 32, 64]))
+    base_items = draw(st.integers(min_value=0, max_value=8))
+    items = np.full(threads, base_items, dtype=np.int64)
+    requests = {}
+    max_requests = min(6, threads)
+    tids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=threads - 1),
+            min_size=0,
+            max_size=max_requests,
+            unique=True,
+        )
+    )
+    total_child_items = 0
+    for tid in tids:
+        child_items = draw(st.integers(min_value=1, max_value=200))
+        total_child_items += child_items
+        requests[tid] = ChildRequest(
+            name=f"c{tid}",
+            items=child_items,
+            cta_threads=draw(st.sampled_from([16, 32, 64])),
+            items_per_thread=draw(st.integers(min_value=1, max_value=3)),
+            mem_base=1_000_000 + tid * 65536,
+            at_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
+        )
+    spec = KernelSpec(
+        name="p",
+        threads_per_cta=threads_per_cta,
+        thread_items=items,
+        mem_bases=np.arange(threads, dtype=np.int64) * 128,
+        child_requests=requests,
+    )
+    total = int(items.sum()) + total_child_items
+    return Application(name="micro", kernels=[spec], flat_items=total)
+
+
+POLICIES = [
+    NeverLaunchPolicy,
+    AlwaysLaunchPolicy,
+    lambda: StaticThresholdPolicy(50),
+    SpawnPolicy,
+    lambda: DTBLPolicy(0),
+    FreeLaunchPolicy,
+]
+
+
+@given(app=micro_apps(), policy_idx=st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_simulation_invariants(app, policy_idx):
+    sim = GPUSimulator(config=small_debug_gpu(), policy=POLICIES[policy_idx]())
+    result = sim.run(app)
+
+    # Termination: everything completed, queues drained.
+    assert sim._unfinished_kernels == 0
+    assert sim.gmu.drained()
+    assert not sim._dtbl_pending
+
+    # Work conservation.
+    stats = result.stats
+    assert stats.items_in_parent + stats.items_in_child == app.flat_items
+
+    # CCQS drained.
+    assert sim.metrics.n == 0
+    assert sim.metrics.current_concurrency == 0
+
+    # Lifecycle ordering for every kernel.
+    for rec in stats.kernels.values():
+        assert rec.arrival_time <= rec.first_dispatch_time <= rec.completion_time
+        if rec.is_child:
+            assert rec.launch_call_time <= rec.arrival_time
+
+    # Bounded derived metrics.
+    assert 0.0 <= stats.smx_occupancy <= 1.0
+    assert 0.0 <= stats.offload_fraction <= 1.0
+    assert stats.makespan >= 0.0
+
+    # Decision accounting: every request resolved exactly once.
+    resolved = (
+        stats.child_kernels_launched
+        + stats.child_kernels_declined
+        + stats.child_kernels_reused
+    )
+    requested = sum(k.num_child_requests() for k in app.kernels)
+    assert resolved == requested
+
+
+@given(app=micro_apps())
+@settings(max_examples=20, deadline=None)
+def test_determinism_property(app):
+    a = GPUSimulator(config=small_debug_gpu(), policy=SpawnPolicy()).run(app)
+    b = GPUSimulator(config=small_debug_gpu(), policy=SpawnPolicy()).run(app)
+    assert a.makespan == b.makespan
+    assert a.stats.child_kernels_launched == b.stats.child_kernels_launched
+
+
+@given(app=micro_apps(), threshold=st.integers(min_value=0, max_value=250))
+@settings(max_examples=30, deadline=None)
+def test_threshold_monotone_offload(app, threshold):
+    """Raising the threshold never increases the offloaded fraction."""
+    low = GPUSimulator(
+        config=small_debug_gpu(), policy=StaticThresholdPolicy(threshold)
+    ).run(app)
+    high = GPUSimulator(
+        config=small_debug_gpu(), policy=StaticThresholdPolicy(threshold + 50)
+    ).run(app)
+    assert high.stats.items_in_child <= low.stats.items_in_child

@@ -1,0 +1,73 @@
+"""Golden regression tests: pin down the model's deterministic outputs.
+
+These catch accidental drift in the execution model — any intentional
+model change should update the expected values *and* re-verify the
+EXPERIMENTS.md shapes.
+"""
+
+import pytest
+
+from repro.core.policies import AlwaysLaunchPolicy, NeverLaunchPolicy, SpawnPolicy
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator
+
+from tests.conftest import make_dp_app, make_flat_app
+
+
+def makespan(app, policy=None):
+    return GPUSimulator(config=small_debug_gpu(), policy=policy).run(app).makespan
+
+
+class TestAnalyticCases:
+    def test_single_cta_uncontended_makespan(self):
+        """One 32-thread CTA, 4 items each, empty GPU: analytic latency.
+
+        warp time = init + items * (cpi + apm * stall(miss)); the footprint
+        is cold, so every access misses (stall = dram/mlp = 80).
+        """
+        app = make_flat_app(threads=32, items=4)
+        expected = 50.0 + 4 * (20.0 + 1.0 * 80.0)
+        assert makespan(app) == pytest.approx(expected)
+
+    def test_warm_second_kernel_is_faster(self):
+        """Two identical kernels back to back: the second hits in L2."""
+        app1 = make_flat_app(threads=32, items=4)
+        spec = app1.kernels[0]
+        from repro.sim.kernel import Application
+
+        double = Application(name="double", kernels=[spec, spec])
+        total = makespan(double)
+        cold = 50.0 + 4 * (20.0 + 80.0)
+        warm = 50.0 + 4 * (20.0 + 30.0)  # stall(hit) = 120/4
+        assert total == pytest.approx(cold + warm)
+
+    def test_launch_latency_floor(self):
+        """A child's completion is bounded below by b + its execution."""
+        app = make_dp_app(threads=32, child_every=32, child_items=32, base_items=1)
+        sim = GPUSimulator(config=small_debug_gpu(), policy=AlwaysLaunchPolicy())
+        result = sim.run(app)
+        child = [r for r in result.stats.kernels.values() if r.is_child][0]
+        launch = sim.config.launch
+        assert child.arrival_time - child.launch_call_time == pytest.approx(
+            launch.latency(1)
+        )
+
+
+class TestGoldenValues:
+    """Frozen outputs of the standard micro-apps on the debug GPU."""
+
+    def test_flat_app(self, flat_app):
+        assert makespan(flat_app) == pytest.approx(450.0, abs=0.5)
+
+    def test_dp_always(self, dp_app):
+        assert makespan(dp_app, AlwaysLaunchPolicy()) == pytest.approx(
+            3300.0, rel=0.01
+        )
+
+    def test_dp_never(self, dp_app):
+        assert makespan(dp_app, NeverLaunchPolicy()) == pytest.approx(
+            3450.0, rel=0.01
+        )
+
+    def test_dp_spawn(self, dp_app):
+        assert makespan(dp_app, SpawnPolicy()) == pytest.approx(3300.0, rel=0.01)

@@ -1,0 +1,99 @@
+"""Tests for seed replication and result export."""
+
+import json
+
+import pytest
+
+from repro.core.policies import AlwaysLaunchPolicy
+from repro.errors import HarnessError
+from repro.experiments import tables
+from repro.harness.export import (
+    experiment_to_csv,
+    experiment_to_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.harness.replication import SchemeStats, replicate
+from repro.harness.runner import Runner
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator
+
+from tests.conftest import make_dp_app
+
+FAST = "GC-citation"
+
+
+class TestSchemeStats:
+    def test_statistics(self):
+        stats = SchemeStats(scheme="s", speedups=(1.0, 2.0, 3.0))
+        assert stats.mean == 2.0
+        assert stats.min == 1.0
+        assert stats.max == 3.0
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_seed_std_zero(self):
+        assert SchemeStats(scheme="s", speedups=(1.5,)).std == 0.0
+
+    def test_always_above(self):
+        stats = SchemeStats(scheme="s", speedups=(1.2, 1.4))
+        assert stats.always_above(1.0)
+        assert not stats.always_above(1.3)
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def replication(self):
+        return replicate(FAST, schemes=("baseline-dp", "spawn"), seeds=(1, 2))
+
+    def test_covers_every_scheme_and_seed(self, replication):
+        assert set(replication.stats) == {"baseline-dp", "spawn"}
+        assert len(replication.scheme("spawn").speedups) == 2
+
+    def test_spawn_beats_baseline_on_all_seeds(self, replication):
+        assert replication.consistently_ordered("spawn", "baseline-dp")
+
+    def test_unknown_scheme_raises(self, replication):
+        with pytest.raises(HarnessError):
+            replication.scheme("nope")
+
+    def test_validation(self):
+        with pytest.raises(HarnessError):
+            replicate(FAST, seeds=())
+        with pytest.raises(HarnessError):
+            replicate(FAST, schemes=())
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        sim = GPUSimulator(config=small_debug_gpu(), policy=AlwaysLaunchPolicy())
+        return sim.run(make_dp_app())
+
+    def test_result_dict_shape(self, result):
+        payload = result_to_dict(result)
+        assert payload["app"] == "dp-app"
+        assert payload["summary"]["child_kernels_launched"] == 32
+        assert len(payload["kernels"]) == 33  # root + 32 children
+        assert payload["trace"]
+        assert payload["launch_cdf"][-1][1] == 32
+
+    def test_result_json_round_trips(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["summary"]["makespan"] > 0
+
+    def test_traces_can_be_omitted(self, result):
+        payload = result_to_dict(result, include_traces=False)
+        assert "trace" not in payload
+
+    def test_experiment_csv(self):
+        experiment = tables.run_table1()
+        text = experiment_to_csv(experiment)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("Application,")
+        assert len(lines) == 14  # header + 13 benchmarks
+
+    def test_experiment_json(self):
+        experiment = tables.run_table2()
+        payload = json.loads(experiment_to_json(experiment))
+        assert payload["experiment"] == "table2"
+        assert payload["rows"]

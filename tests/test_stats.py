@@ -1,0 +1,99 @@
+"""Unit tests for statistics collection."""
+
+import pytest
+
+from repro.sim.stats import KernelRecord, SimStats, TraceSample
+
+
+class TestKernelRecord:
+    def test_queuing_latency(self):
+        record = KernelRecord(0, "k", False, 0, 1)
+        assert record.queuing_latency is None
+        record.arrival_time = 100.0
+        record.first_dispatch_time = 150.0
+        assert record.queuing_latency == 50.0
+
+    def test_launch_overhead(self):
+        record = KernelRecord(0, "k", True, 1, 1)
+        record.launch_call_time = 10.0
+        record.arrival_time = 30.0
+        assert record.launch_overhead == 20.0
+
+
+class TestOccupancy:
+    def make_stats(self):
+        stats = SimStats(trace_interval=10.0)
+        stats.set_capacity(warps=100, regs=1000, shmem=1000)
+        return stats
+
+    def test_constant_occupancy(self):
+        stats = self.make_stats()
+        stats.record_state(0.0, parent_ctas=1, child_ctas=0, warps=50, regs=0, shmem=0)
+        stats.finalize(100.0)
+        assert stats.smx_occupancy == pytest.approx(0.5)
+
+    def test_time_weighted_occupancy(self):
+        stats = self.make_stats()
+        stats.record_state(0.0, parent_ctas=1, child_ctas=0, warps=100, regs=0, shmem=0)
+        stats.record_state(50.0, parent_ctas=0, child_ctas=0, warps=0, regs=0, shmem=0)
+        stats.finalize(100.0)
+        assert stats.smx_occupancy == pytest.approx(0.5)
+
+    def test_zero_makespan_occupancy(self):
+        stats = self.make_stats()
+        assert stats.smx_occupancy == 0.0
+
+    def test_utilization_takes_max_resource(self):
+        stats = self.make_stats()
+        stats.record_state(0.0, parent_ctas=1, child_ctas=0, warps=10, regs=900, shmem=0)
+        stats.record_state(20.0, parent_ctas=1, child_ctas=0, warps=10, regs=900, shmem=0)
+        # Utilization in trace should reflect regs (0.9), not warps (0.1).
+        assert stats.trace[-1].utilization == pytest.approx(0.9)
+
+
+class TestTrace:
+    def test_trace_sampling_respects_interval(self):
+        stats = SimStats(trace_interval=100.0)
+        stats.set_capacity(1, 1, 1)
+        for t in range(0, 1000, 10):
+            stats.record_state(
+                float(t), parent_ctas=1, child_ctas=0, warps=0, regs=0, shmem=0
+            )
+        assert len(stats.trace) <= 11
+
+    def test_trace_sample_total(self):
+        sample = TraceSample(0.0, parent_ctas=3, child_ctas=4, utilization=0.5)
+        assert sample.total_ctas == 7
+
+
+class TestDerived:
+    def test_offload_fraction(self):
+        stats = SimStats()
+        stats.items_in_parent = 30
+        stats.items_in_child = 70
+        assert stats.offload_fraction == pytest.approx(0.7)
+
+    def test_offload_fraction_empty(self):
+        assert SimStats().offload_fraction == 0.0
+
+    def test_l2_hit_rate(self):
+        stats = SimStats()
+        stats.l2_hits, stats.l2_misses = 80, 20
+        assert stats.l2_hit_rate == pytest.approx(0.8)
+
+    def test_launch_cdf_sorted(self):
+        stats = SimStats()
+        stats.launch_times = [30.0, 10.0, 20.0]
+        assert stats.launch_cdf() == [(10.0, 1), (20.0, 2), (30.0, 3)]
+
+    def test_mean_child_cta_time(self):
+        stats = SimStats()
+        stats.child_cta_exec_times = [100.0, 200.0]
+        assert stats.mean_child_cta_time == 150.0
+
+    def test_mean_child_queuing_latency(self):
+        stats = SimStats()
+        rec = KernelRecord(0, "c", True, 1, 1)
+        rec.arrival_time, rec.first_dispatch_time = 0.0, 40.0
+        stats.kernels[0] = rec
+        assert stats.mean_child_queuing_latency == 40.0
