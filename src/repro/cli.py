@@ -8,6 +8,13 @@ Commands
     The simulated GPU configuration (Table II).
 ``run BENCHMARK --scheme SCHEME``
     Simulate one benchmark under one scheme and print its summary metrics.
+    ``--json`` prints the summary machine-readably; ``--trace FILE`` /
+    ``--chrome-trace FILE`` export the structured event stream;
+    ``--profile`` appends harness wall-clock timings.
+``audit BENCHMARK --scheme spawn``
+    Run with tracing and print the SPAWN decision audit: per-benchmark
+    prediction-error statistics (predicted vs. actual ``t_child``).
+    ``BENCHMARK`` may be ``all``.
 ``sweep BENCHMARK``
     The Fig. 5 threshold sweep for one benchmark.
 ``experiment ID``
@@ -18,6 +25,8 @@ Examples
 ::
 
     python -m repro run BFS-graph500 --scheme spawn
+    python -m repro run BFS-citation --trace bfs.jsonl --chrome-trace bfs.json
+    python -m repro audit all --scheme spawn
     python -m repro sweep SSSP-citation
     python -m repro experiment fig15
 """
@@ -25,6 +34,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -56,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="child CTA size override (Fig. 7)")
     run.add_argument("--stream-policy", default="per-child",
                      choices=["per-child", "per-parent-cta"])
+    run.add_argument("--json", action="store_true",
+                     help="print the summary as JSON instead of a table")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="dump the structured event trace as JSONL")
+    run.add_argument("--chrome-trace", metavar="FILE", default=None,
+                     help="export a chrome://tracing / Perfetto trace")
+    run.add_argument("--profile", action="store_true",
+                     help="print harness wall-clock timings after the run")
+
+    audit = sub.add_parser(
+        "audit", help="SPAWN decision audit: prediction error vs. reality"
+    )
+    audit.add_argument("benchmark", help="benchmark name, or 'all'")
+    audit.add_argument("--scheme", default="spawn",
+                       help="scheme to audit (default: spawn)")
+    audit.add_argument("--seed", type=int, default=1)
+    audit.add_argument("--json", action="store_true",
+                       help="print the audit statistics as JSON")
 
     sweep = sub.add_parser("sweep", help="threshold sweep (Fig. 5 panel)")
     sweep.add_argument("benchmark")
@@ -89,6 +117,9 @@ def cmd_config(out) -> int:
 
 
 def cmd_run(args, out) -> int:
+    from repro.obs import Tracer, write_chrome_trace, write_jsonl
+    from repro.obs.profile import REGISTRY
+
     runner = Runner()
     config = RunConfig(
         benchmark=args.benchmark,
@@ -97,16 +128,103 @@ def cmd_run(args, out) -> int:
         cta_threads=args.cta_threads,
         stream_policy=args.stream_policy,
     )
-    result = runner.run(config)
-    rows = [(key, value) for key, value in result.summary().items()]
+    tracing = args.trace is not None or args.chrome_trace is not None
+    tracer = Tracer() if tracing else None
+    result = runner.run(config, tracer=tracer)
+    summary = dict(result.summary())
     if args.scheme != "flat":
-        rows.append(("speedup_vs_flat", runner.speedup(args.benchmark, args.scheme,
-                                                       seed=args.seed)))
+        summary["speedup_vs_flat"] = runner.speedup(
+            args.benchmark, args.scheme, seed=args.seed
+        )
+    if tracer is not None:
+        if args.trace:
+            count = write_jsonl(tracer.events(), args.trace)
+            print(f"wrote {count} events to {args.trace}", file=sys.stderr)
+        if args.chrome_trace:
+            count = write_chrome_trace(tracer.events(), args.chrome_trace)
+            print(
+                f"wrote {count} trace entries to {args.chrome_trace} "
+                "(load in chrome://tracing or Perfetto)",
+                file=sys.stderr,
+            )
+    if args.json:
+        print(json.dumps(summary, sort_keys=True), file=out)
+    else:
+        print(
+            format_table(
+                ["metric", "value"],
+                list(summary.items()),
+                title=f"{args.benchmark} / {args.scheme} (seed {args.seed})",
+            ),
+            file=out,
+        )
+    if args.profile:
+        print(file=out)
+        print(
+            format_table(
+                ["timer", "calls", "total_s", "mean_s", "max_s"],
+                [
+                    (name, calls, f"{total:.3f}", f"{mean:.3f}", f"{mx:.3f}")
+                    for name, calls, total, mean, mx in REGISTRY.timer_rows()
+                ],
+                title="harness wall-clock profile",
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_audit(args, out) -> int:
+    from repro.obs import DecisionAudit, Tracer
+    from repro.workloads import benchmark_names
+
+    if args.benchmark == "all":
+        names = list(benchmark_names())
+    else:
+        names = [args.benchmark]
+    all_stats = {}
+    for name in names:
+        runner = Runner()
+        tracer = Tracer()
+        config = RunConfig(benchmark=name, scheme=args.scheme, seed=args.seed)
+        runner.run(config, tracer=tracer)
+        all_stats[name] = DecisionAudit.from_events(tracer.events()).stats()
+    if args.json:
+        print(json.dumps(all_stats, sort_keys=True), file=out)
+        return 0
+    rows = []
+    for name, s in all_stats.items():
+        rows.append(
+            (
+                name,
+                int(s["decisions"]),
+                int(s["launched"]),
+                int(s["declined"]),
+                int(s["bootstrap"]),
+                int(s["joined"]),
+                f"{100 * s['mean_rel_error']:.1f}%" if "mean_rel_error" in s else "-",
+                f"{100 * s['max_rel_error']:.1f}%" if "max_rel_error" in s else "-",
+                f"{s['mean_bias']:+.0f}" if "mean_bias" in s else "-",
+            )
+        )
     print(
         format_table(
-            ["metric", "value"],
+            [
+                "benchmark",
+                "decisions",
+                "launched",
+                "declined",
+                "bootstrap",
+                "joined",
+                "mean_err",
+                "max_err",
+                "bias_cyc",
+            ],
             rows,
-            title=f"{args.benchmark} / {args.scheme} (seed {args.seed})",
+            title=(
+                f"{args.scheme} decision audit (seed {args.seed}): "
+                "predicted vs. actual t_child"
+            ),
         ),
         file=out,
     )
@@ -192,6 +310,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_config(out)
         if args.command == "run":
             return cmd_run(args, out)
+        if args.command == "audit":
+            return cmd_audit(args, out)
         if args.command == "sweep":
             return cmd_sweep(args, out)
         if args.command == "experiment":

@@ -16,7 +16,7 @@ before the first metric update arrives).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.core.ccqs import CCQS
 from repro.errors import ConfigError
@@ -24,7 +24,14 @@ from repro.errors import ConfigError
 
 @dataclass
 class DecisionTrace:
-    """One controller decision, kept for introspection and tests."""
+    """One controller decision, kept for introspection and tests.
+
+    Besides the verdict and both Equation 1/2 estimates, the trace snapshots
+    the monitored inputs the estimates were computed from (``n_con``,
+    ``t_cta``, ``t_warp``) so the observability layer can audit prediction
+    quality after the run.  ``bootstrap`` marks the unconditional launches
+    of Algorithm 1 lines 2-3, which carry no prediction.
+    """
 
     time: float
     launched: bool
@@ -32,6 +39,10 @@ class DecisionTrace:
     n_before: int
     t_child: float
     t_parent: float
+    n_con: int = 0
+    t_cta: float = 0.0
+    t_warp: float = 0.0
+    bootstrap: bool = False
 
 
 @dataclass
@@ -50,6 +61,14 @@ class SpawnController:
     launched: int = 0
     declined: int = 0
     trace: List[DecisionTrace] = field(default_factory=list)
+    #: Record ``last_decision`` on every verdict so the observability layer
+    #: can audit it, without the memory cost of the full ``keep_trace``
+    #: history.  Off by default: the per-decision allocation is measurable
+    #: on decision-heavy workloads, and untraced runs must pay nothing.
+    record_decisions: bool = False
+    #: Most recent decision (populated when ``record_decisions`` or
+    #: ``keep_trace`` is set).
+    last_decision: Optional[DecisionTrace] = None
 
     def __post_init__(self) -> None:
         if self.launch_overhead_cycles < 0:
@@ -68,7 +87,7 @@ class SpawnController:
         if metrics.tcta == 0:
             # Initialization: no child CTA has finished yet, so there is no
             # throughput estimate.  Algorithm 1 launches unconditionally.
-            self._commit(time, True, num_ctas, 0.0, 0.0)
+            self._commit(time, True, num_ctas, 0.0, 0.0, bootstrap=True)
             return True
 
         t_child = self.launch_overhead_cycles + self.ccqs.estimated_drain_time(num_ctas)
@@ -79,12 +98,31 @@ class SpawnController:
         return launch
 
     def _commit(
-        self, time: float, launch: bool, x: int, t_child: float, t_parent: float
+        self,
+        time: float,
+        launch: bool,
+        x: int,
+        t_child: float,
+        t_parent: float,
+        *,
+        bootstrap: bool = False,
     ) -> None:
-        if self.keep_trace:
-            self.trace.append(
-                DecisionTrace(time, launch, x, self.ccqs.n, t_child, t_parent)
+        if self.record_decisions or self.keep_trace:
+            metrics = self.ccqs.metrics
+            self.last_decision = DecisionTrace(
+                time,
+                launch,
+                x,
+                self.ccqs.n,
+                t_child,
+                t_parent,
+                n_con=metrics.ncon,
+                t_cta=metrics.tcta,
+                t_warp=metrics.twarp,
+                bootstrap=bootstrap,
             )
+            if self.keep_trace:
+                self.trace.append(self.last_decision)
         if launch:
             if self.auto_admit:
                 self.ccqs.admit(x)

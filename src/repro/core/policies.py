@@ -22,6 +22,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.core.ccqs import CCQS
 from repro.core.controller import SpawnController
@@ -59,6 +60,24 @@ class LaunchPolicy(abc.ABC):
     @abc.abstractmethod
     def decide(self, request: LaunchRequest) -> DecisionKind:
         """Classify one launch request."""
+
+    def set_audit(self, enabled: bool) -> None:
+        """Ask the policy to retain per-decision internals for auditing.
+
+        Called by the engine once per run, after :meth:`bind`, with the
+        tracer's enabled state — retaining internals costs an allocation
+        per decision, so untraced runs keep it off.  Default: no-op.
+        """
+
+    def decision_audit(self) -> Optional[Dict[str, object]]:
+        """Internals of the most recent :meth:`decide`, for the tracer.
+
+        Policies with a prediction model (SPAWN) return the monitored
+        inputs and both time estimates (when :meth:`set_audit` enabled
+        retention); threshold-style policies have no model, so the default
+        is ``None`` and the observability layer records only the verdict.
+        """
+        return None
 
     def describe(self) -> str:
         return self.name
@@ -110,6 +129,7 @@ class SpawnPolicy(LaunchPolicy):
         self.max_queue_size = max_queue_size
         self.keep_trace = keep_trace
         self.controller: SpawnController | None = None
+        self._audit_enabled = False
 
     def bind(self, metrics: MetricsMonitor, config: GPUConfig) -> None:
         ccqs = CCQS(metrics, max_queue_size=self.max_queue_size)
@@ -117,10 +137,16 @@ class SpawnPolicy(LaunchPolicy):
             ccqs=ccqs,
             launch_overhead_cycles=float(config.launch.latency(1)),
             keep_trace=self.keep_trace,
+            record_decisions=self._audit_enabled,
             # The engine admits launched CTAs to the shared metrics monitor
             # for every policy; avoid double-counting n here.
             auto_admit=False,
         )
+
+    def set_audit(self, enabled: bool) -> None:
+        self._audit_enabled = enabled
+        if self.controller is not None:
+            self.controller.record_decisions = enabled
 
     def decide(self, request: LaunchRequest) -> DecisionKind:
         if self.controller is None:
@@ -131,6 +157,20 @@ class SpawnPolicy(LaunchPolicy):
             workload_items=request.items,
         )
         return DecisionKind.LAUNCH if launch else DecisionKind.SERIAL
+
+    def decision_audit(self) -> Optional[Dict[str, object]]:
+        if self.controller is None or self.controller.last_decision is None:
+            return None
+        d = self.controller.last_decision
+        return {
+            "n": d.n_before,
+            "n_con": d.n_con,
+            "t_cta": d.t_cta,
+            "t_warp": d.t_warp,
+            "t_child": d.t_child,
+            "t_parent": d.t_parent,
+            "bootstrap": d.bootstrap,
+        }
 
 
 class FreeLaunchPolicy(LaunchPolicy):

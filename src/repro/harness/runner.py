@@ -13,6 +13,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import HarnessError
 from repro.harness import schemes as sch
+from repro.obs.profile import REGISTRY
+from repro.obs.tracer import Tracer
 from repro.runtime.streams import PerChildStream, PerParentCTAStream
 from repro.sim.config import GPUConfig
 from repro.sim.engine import GPUSimulator, SimResult
@@ -52,12 +54,23 @@ class Runner:
         self.max_events = max_events
         self._cache: Dict[Tuple, SimResult] = {}
 
-    def run(self, run_config: RunConfig) -> SimResult:
-        """Run (or fetch from cache) one benchmark/scheme combination."""
+    def run(
+        self, run_config: RunConfig, *, tracer: Optional[Tracer] = None
+    ) -> SimResult:
+        """Run (or fetch from cache) one benchmark/scheme combination.
+
+        A ``tracer`` forces a fresh simulation (a cached result has no
+        event stream to offer) but the result is still cached afterwards —
+        tracing does not perturb the simulation, so the summary is
+        interchangeable with an untraced run's.
+        """
         key = run_config.key()
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        if tracer is None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                REGISTRY.count("runner.cache_hits")
+                return cached
+        REGISTRY.count("runner.cache_misses")
         benchmark = get_benchmark(run_config.benchmark)
         spec = sch.parse_scheme(run_config.scheme)
         if spec.name == sch.OFFLINE:
@@ -74,10 +87,14 @@ class Runner:
             config=self.config,
             policy=policy,
             stream_policy=stream_policy,
+            tracer=tracer,
             trace_interval=run_config.trace_interval,
             max_events=self.max_events,
         )
-        result = sim.run(app)
+        with REGISTRY.profile(
+            f"sim.run/{run_config.benchmark}/{run_config.scheme}"
+        ):
+            result = sim.run(app)
         self._cache[key] = result
         return result
 

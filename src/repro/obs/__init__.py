@@ -1,0 +1,48 @@
+"""Observability layer: structured tracing, SPAWN decision audit, exporters.
+
+* :mod:`repro.obs.tracer` — typed simulator events, ring-buffer or
+  unbounded sinks, and the zero-overhead disabled default;
+* :mod:`repro.obs.audit` — per-decision SPAWN audit records joined with
+  actual child completion times (controller prediction error);
+* :mod:`repro.obs.export` — JSONL dumps and Chrome ``trace_event`` JSON
+  (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.profile` — counter/timer registry with a ``profile()``
+  context for harness wall-clock profiling.
+"""
+
+from repro.obs.audit import DecisionAudit, DecisionAuditRecord
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.profile import REGISTRY, Registry, profile
+from repro.obs.tracer import (
+    NULL_TRACER,
+    ListSink,
+    NullTracer,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    filter_events,
+)
+
+__all__ = [
+    "DecisionAudit",
+    "DecisionAuditRecord",
+    "chrome_trace",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "REGISTRY",
+    "Registry",
+    "profile",
+    "NULL_TRACER",
+    "ListSink",
+    "NullTracer",
+    "RingBufferSink",
+    "TraceEvent",
+    "Tracer",
+    "filter_events",
+]

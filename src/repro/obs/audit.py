@@ -1,0 +1,158 @@
+"""SPAWN decision audit: how good were the controller's predictions?
+
+Algorithm 1 approves a launch when its *predicted* child completion time
+``t_child = t_overhead + (n + x) * t_cta / n_con`` (Equation 1) beats the
+*predicted* serial fallback ``t_parent = workload * t_warp`` (Equation 2).
+The simulator's aggregate stats show the outcome mix but not the quality
+of those per-launch predictions.  This module reconstructs it from a
+trace:
+
+* every :data:`~repro.obs.tracer.LAUNCH_DECISION` event becomes a
+  :class:`DecisionAuditRecord` holding the monitored inputs (``n``,
+  ``n_con``, ``t_cta``, ``t_warp``), both predictions, and the verdict;
+* launched decisions are *joined* against the child kernel's
+  :data:`~repro.obs.tracer.KERNEL_COMPLETE` event, giving the **actual**
+  ``t_child`` (completion time minus decision time — the same quantity
+  Equation 1 estimates: queuing through the CCQS plus execution);
+* :class:`DecisionAudit` then summarizes per-run prediction error
+  (mean/max relative error, bias), the KLARAPTOR-style measurement that
+  tells you whether the controller's model fits a workload.
+
+Bootstrap decisions (taken before any child CTA completed, when
+``t_cta == 0`` forces an unconditional launch) carry no prediction and are
+counted separately — they are exactly the blind window behind the paper's
+SSSP-graph500 pathology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.tracer import KERNEL_COMPLETE, LAUNCH_DECISION, TraceEvent
+
+
+@dataclass
+class DecisionAuditRecord:
+    """One launch decision with its inputs, predictions, and outcome."""
+
+    time: float
+    verdict: str  # DecisionKind value: launch | serial | coalesce | reuse
+    items: int
+    num_ctas: int
+    depth: int
+    parent_kernel_id: int
+    child_kernel_id: Optional[int] = None
+    # SPAWN controller internals (None for policies without predictions).
+    n: Optional[int] = None
+    n_con: Optional[int] = None
+    t_cta: Optional[float] = None
+    t_warp: Optional[float] = None
+    t_child_pred: Optional[float] = None
+    t_parent_pred: Optional[float] = None
+    bootstrap: bool = False
+    # Joined after the run from the child's completion event.
+    t_child_actual: Optional[float] = None
+
+    @property
+    def launched(self) -> bool:
+        return self.verdict in ("launch", "coalesce")
+
+    @property
+    def has_prediction(self) -> bool:
+        """True when Equation 1/2 actually ran (non-bootstrap SPAWN path)."""
+        return self.t_child_pred is not None and not self.bootstrap
+
+    @property
+    def joined(self) -> bool:
+        return self.has_prediction and self.t_child_actual is not None
+
+    @property
+    def abs_error(self) -> Optional[float]:
+        if not self.joined:
+            return None
+        return self.t_child_pred - self.t_child_actual
+
+    @property
+    def rel_error(self) -> Optional[float]:
+        """|predicted - actual| / actual, the per-launch model error."""
+        if not self.joined or self.t_child_actual <= 0:
+            return None
+        return abs(self.t_child_pred - self.t_child_actual) / self.t_child_actual
+
+
+class DecisionAudit:
+    """All decisions of one run, with summary statistics."""
+
+    def __init__(self, records: List[DecisionAuditRecord]):
+        self.records = records
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "DecisionAudit":
+        """Build records from a trace and join child completion times."""
+        completions: Dict[int, float] = {}
+        decision_events: List[TraceEvent] = []
+        for event in events:
+            if event.kind == LAUNCH_DECISION:
+                decision_events.append(event)
+            elif event.kind == KERNEL_COMPLETE:
+                completions[event.args["kernel_id"]] = event.ts
+        records: List[DecisionAuditRecord] = []
+        for event in decision_events:
+            a = event.args
+            record = DecisionAuditRecord(
+                time=event.ts,
+                verdict=a["verdict"],
+                items=a["items"],
+                num_ctas=a["num_ctas"],
+                depth=a["depth"],
+                parent_kernel_id=a["parent_kernel_id"],
+                child_kernel_id=a.get("child_kernel_id"),
+                n=a.get("n"),
+                n_con=a.get("n_con"),
+                t_cta=a.get("t_cta"),
+                t_warp=a.get("t_warp"),
+                t_child_pred=a.get("t_child"),
+                t_parent_pred=a.get("t_parent"),
+                bootstrap=bool(a.get("bootstrap", False)),
+            )
+            if record.has_prediction and record.child_kernel_id is not None:
+                done = completions.get(record.child_kernel_id)
+                if done is not None:
+                    record.t_child_actual = done - record.time
+            records.append(record)
+        return cls(records)
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def stats(self) -> Dict[str, float]:
+        """Headline prediction-quality numbers for reports and tests."""
+        launched = sum(1 for r in self.records if r.launched)
+        declined = sum(1 for r in self.records if r.verdict == "serial")
+        bootstrap = sum(1 for r in self.records if r.bootstrap)
+        joined = [r for r in self.records if r.joined]
+        rel_errors = [r.rel_error for r in joined if r.rel_error is not None]
+        abs_errors = [r.abs_error for r in joined]
+        out: Dict[str, float] = {
+            "decisions": len(self.records),
+            "launched": launched,
+            "declined": declined,
+            "bootstrap": bootstrap,
+            "predicted": sum(1 for r in self.records if r.has_prediction),
+            "joined": len(joined),
+        }
+        if rel_errors:
+            out["mean_rel_error"] = sum(rel_errors) / len(rel_errors)
+            out["max_rel_error"] = max(rel_errors)
+            # Signed bias: positive means the controller over-estimates
+            # t_child, i.e. it is conservative about launching.
+            out["mean_bias"] = sum(abs_errors) / len(abs_errors)
+            out["mean_t_child_pred"] = sum(r.t_child_pred for r in joined) / len(joined)
+            out["mean_t_child_actual"] = sum(r.t_child_actual for r in joined) / len(
+                joined
+            )
+        return out

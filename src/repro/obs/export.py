@@ -1,0 +1,214 @@
+"""Trace exporters: JSONL event dumps and Chrome ``trace_event`` JSON.
+
+Two formats, two audiences:
+
+* :func:`write_jsonl` — one JSON object per line, the whole structured
+  event stream verbatim.  Greppable, streamable, loadable back with
+  :func:`read_jsonl` for offline analysis (the decision audit accepts the
+  round-tripped events).
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format consumed by ``chrome://tracing`` and Perfetto.
+  CTA residencies become duration events on one track per SMX; the GMU
+  contributes HWQ-occupancy and pending-kernel counter tracks; the launch
+  unit contributes busy-slot/backlog counters; launch decisions appear as
+  instant events on their SMX's track, carrying the SPAWN prediction
+  payload in ``args`` so hovering a decision shows Equation 1 vs 2.
+
+Timestamps: the simulator clock is in GPU cycles; the Chrome format wants
+microseconds.  We write cycles as-if-microseconds (1 cycle = 1 us) — the
+viewer's timeline is then labelled in cycles, which is what you want to
+read anyway.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Tuple, Union
+
+from repro.obs.tracer import (
+    CTA_DISPATCH,
+    CTA_FINISH,
+    HWQ_BIND,
+    HWQ_RELEASE,
+    KERNEL_ARRIVAL,
+    LAUNCH_BATCH_ARRIVE,
+    LAUNCH_BATCH_SERVICE,
+    LAUNCH_BATCH_SUBMIT,
+    LAUNCH_DECISION,
+    TraceEvent,
+)
+
+PathOrFile = Union[str, IO[str]]
+
+#: Chrome trace process ids, one per hardware component group.
+PID_SMX = 0
+PID_GMU = 1
+PID_LAUNCH_UNIT = 2
+
+
+def _open_for_write(dest: PathOrFile):
+    """(file, should_close) for a path or an already-open file object."""
+    if isinstance(dest, str):
+        return open(dest, "w", encoding="utf-8"), True
+    return dest, False
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+def write_jsonl(events: Iterable[TraceEvent], dest: PathOrFile) -> int:
+    """Write one JSON object per event; returns the number written."""
+    fh, should_close = _open_for_write(dest)
+    try:
+        count = 0
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+        return count
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_jsonl(src: PathOrFile) -> List[TraceEvent]:
+    """Load a JSONL dump back into :class:`TraceEvent` objects."""
+    if isinstance(src, str):
+        fh = open(src, "r", encoding="utf-8")
+        should_close = True
+    else:
+        fh, should_close = src, False
+    try:
+        events = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            ts = obj.pop("ts")
+            kind = obj.pop("kind")
+            events.append(TraceEvent(ts, kind, obj))
+        return events
+    finally:
+        if should_close:
+            fh.close()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+def _metadata(pid: int, name: str) -> Dict[str, object]:
+    return {
+        "ph": "M",
+        "name": "process_name",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def _thread_name(pid: int, tid: int, name: str) -> Dict[str, object]:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _counter(pid: int, ts: float, name: str, values: Dict[str, float]):
+    return {"ph": "C", "pid": pid, "tid": 0, "ts": ts, "name": name, "args": values}
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Build a ``trace_event`` document (``{"traceEvents": [...]}``).
+
+    One duration track per SMX, counter tracks for the GMU and launch
+    unit, instant markers for launch decisions.
+    """
+    trace: List[Dict[str, object]] = [
+        _metadata(PID_SMX, "SMXs"),
+        _metadata(PID_GMU, "GMU"),
+        _metadata(PID_LAUNCH_UNIT, "Launch unit"),
+    ]
+    open_ctas: Dict[Tuple[int, int], TraceEvent] = {}
+    smx_seen: Dict[int, None] = {}
+    for event in events:
+        kind = event.kind
+        args = event.args
+        if kind == CTA_DISPATCH:
+            open_ctas[(args["kernel_id"], args["cta_index"])] = event
+            smx_seen.setdefault(args["smx"], None)
+        elif kind == CTA_FINISH:
+            start = open_ctas.pop((args["kernel_id"], args["cta_index"]), None)
+            if start is None:
+                continue  # dispatch fell off a ring buffer; skip the slice
+            trace.append(
+                {
+                    "ph": "X",
+                    "pid": PID_SMX,
+                    "tid": start.args["smx"],
+                    "ts": start.ts,
+                    "dur": max(event.ts - start.ts, 0.0),
+                    "name": f"{start.args['kernel']}#{args['cta_index']}",
+                    "cat": "child" if start.args.get("is_child") else "parent",
+                    "args": {
+                        "kernel_id": args["kernel_id"],
+                        "cta_index": args["cta_index"],
+                    },
+                }
+            )
+        elif kind in (HWQ_BIND, HWQ_RELEASE):
+            trace.append(
+                _counter(PID_GMU, event.ts, "HWQ occupancy", {"bound": args["bound"]})
+            )
+        elif kind == KERNEL_ARRIVAL:
+            if "pending" in args:
+                trace.append(
+                    _counter(
+                        PID_GMU, event.ts, "pending kernels",
+                        {"pending": args["pending"]},
+                    )
+                )
+        elif kind in (LAUNCH_BATCH_SUBMIT, LAUNCH_BATCH_SERVICE, LAUNCH_BATCH_ARRIVE):
+            trace.append(
+                _counter(
+                    PID_LAUNCH_UNIT,
+                    event.ts,
+                    "launch unit",
+                    {"busy_slots": args["busy_slots"], "backlog": args["backlog"]},
+                )
+            )
+        elif kind == LAUNCH_DECISION:
+            marker = {
+                "ph": "i",
+                "s": "t",
+                "pid": PID_SMX,
+                "tid": args.get("smx", 0),
+                "ts": event.ts,
+                "name": f"decision:{args['verdict']}",
+                "cat": "decision",
+                "args": {
+                    k: v
+                    for k, v in args.items()
+                    if k not in ("smx",) and v is not None
+                },
+            }
+            smx_seen.setdefault(args.get("smx", 0), None)
+            trace.append(marker)
+    for smx in sorted(smx_seen):
+        trace.append(_thread_name(PID_SMX, smx, f"SMX {smx}"))
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], dest: PathOrFile) -> int:
+    """Write the Chrome trace JSON; returns the number of trace entries."""
+    doc = chrome_trace(events)
+    fh, should_close = _open_for_write(dest)
+    try:
+        json.dump(doc, fh)
+        return len(doc["traceEvents"])
+    finally:
+        if should_close:
+            fh.close()

@@ -1,0 +1,104 @@
+"""Counter/timer registry for harness-level wall-clock profiling.
+
+The simulator is pure Python, so knowing *which simulator* is slow matters
+as much as knowing which modelled GPU component is busy.  This registry
+answers the first question: named monotonic counters plus wall-clock
+timers with a :func:`Registry.profile` context manager, aggregated across
+runs.  The harness runner times every ``sim.run`` through the module-level
+:data:`REGISTRY`; ``repro run --profile`` prints the resulting table.
+
+Deliberately tiny and dependency-free: ``time.perf_counter`` and dicts.
+Timers nest safely (each ``profile`` call keeps its own start time on the
+stack frame) and the registry is per-process, matching the runner's
+per-process result cache.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+
+class TimerStat:
+    """Aggregate of one named timer: call count and total/max seconds."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Registry:
+    """Named counters and wall-clock timers."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.timers: Dict[str, TimerStat] = {}
+
+    # -- counters -------------------------------------------------------
+    def count(self, name: str, delta: float = 1.0) -> float:
+        """Bump (or create) a counter; returns the new value."""
+        value = self.counters.get(name, 0.0) + delta
+        self.counters[name] = value
+        return value
+
+    # -- timers ---------------------------------------------------------
+    @contextmanager
+    def profile(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (aggregating repeats)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = TimerStat()
+            stat.add(time.perf_counter() - start)
+
+    def add_time(self, name: str, elapsed: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = TimerStat()
+        stat.add(elapsed)
+
+    # -- reporting ------------------------------------------------------
+    def timer_rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """(name, calls, total_s, mean_s, max_s), slowest total first."""
+        return [
+            (name, stat.count, stat.total, stat.mean, stat.max)
+            for name, stat in sorted(
+                self.timers.items(), key=lambda kv: kv[1].total, reverse=True
+            )
+        ]
+
+    def counter_rows(self) -> List[Tuple[str, float]]:
+        return sorted(self.counters.items())
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+
+#: Process-wide default registry (used by the harness runner and CLI).
+REGISTRY = Registry()
+
+
+@contextmanager
+def profile(name: str) -> Iterator[None]:
+    """Shorthand for ``REGISTRY.profile(name)``."""
+    with REGISTRY.profile(name):
+        yield

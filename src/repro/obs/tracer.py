@@ -1,0 +1,200 @@
+"""Structured event tracing for the simulator.
+
+The simulator's components emit *typed events* — kernel lifecycle, CTA
+dispatch/finish, HWQ occupancy changes, launch-unit batches, and every
+launch decision — through a :class:`Tracer`.  Three properties drive the
+design:
+
+* **Zero overhead when off.**  The engine holds a :data:`NULL_TRACER` by
+  default; every instrumentation site is guarded by ``tracer.enabled``, a
+  plain attribute read, so an untraced run executes no tracing code and its
+  event stream (and makespan) is bit-identical to the pre-instrumentation
+  simulator.
+* **Structured, not stringly.**  Events are ``(ts, kind, args)`` records
+  with well-known kind constants (below), so downstream consumers — the
+  JSONL/Chrome exporters of :mod:`repro.obs.export` and the SPAWN decision
+  audit of :mod:`repro.obs.audit` — join and filter without parsing.
+* **Bounded or unbounded sinks.**  The default :class:`ListSink` keeps
+  everything; :class:`RingBufferSink` keeps the last *N* events for
+  long-running sweeps where only the tail matters.
+
+Components that have no clock of their own (the GMU) stamp events through
+the tracer's bound ``clock`` callable, which the engine points at its event
+queue at the start of every run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional
+
+# ---------------------------------------------------------------------------
+# Event kind constants.  Dotted names group by emitting component.
+# ---------------------------------------------------------------------------
+KERNEL_LAUNCH_CALL = "kernel.launch_call"  # device/host launch API executed
+KERNEL_ARRIVAL = "kernel.arrival"  # kernel reached the GMU pending pool
+KERNEL_FIRST_DISPATCH = "kernel.first_dispatch"  # first CTA placed
+KERNEL_SUSPEND = "kernel.suspend"  # grid suspension (waiting on descendants)
+KERNEL_COMPLETE = "kernel.complete"
+
+CTA_DISPATCH = "cta.dispatch"  # CTA placed on an SMX
+CTA_FINISH = "cta.finish"  # CTA compute finished, resources released
+
+HWQ_BIND = "gmu.hwq_bind"  # a SWQ acquired a hardware work queue
+HWQ_RELEASE = "gmu.hwq_release"  # a SWQ released its hardware work queue
+
+LAUNCH_BATCH_SUBMIT = "launch_unit.submit"  # one warp's launch burst arrives
+LAUNCH_BATCH_SERVICE = "launch_unit.service"  # batch enters a service slot
+LAUNCH_BATCH_ARRIVE = "launch_unit.arrive"  # batch's kernels reach the GMU
+
+LAUNCH_DECISION = "launch.decision"  # policy verdict on one launch request
+
+#: Every kind above, for validation and exporter dispatch.
+ALL_KINDS = frozenset(
+    {
+        KERNEL_LAUNCH_CALL,
+        KERNEL_ARRIVAL,
+        KERNEL_FIRST_DISPATCH,
+        KERNEL_SUSPEND,
+        KERNEL_COMPLETE,
+        CTA_DISPATCH,
+        CTA_FINISH,
+        HWQ_BIND,
+        HWQ_RELEASE,
+        LAUNCH_BATCH_SUBMIT,
+        LAUNCH_BATCH_SERVICE,
+        LAUNCH_BATCH_ARRIVE,
+        LAUNCH_DECISION,
+    }
+)
+
+
+class TraceEvent:
+    """One structured event: a timestamp, a kind, and a flat args dict."""
+
+    __slots__ = ("ts", "kind", "args")
+
+    def __init__(self, ts: float, kind: str, args: Dict[str, object]):
+        self.ts = ts
+        self.kind = kind
+        self.args = args
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict form used by the JSONL exporter."""
+        out: Dict[str, object] = {"ts": self.ts, "kind": self.kind}
+        out.update(self.args)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent(t={self.ts:.0f}, {self.kind}, {self.args})"
+
+
+class ListSink:
+    """Unbounded in-memory sink (the default)."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+
+class RingBufferSink:
+    """Keeps only the most recent ``capacity`` events."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from simulator components.
+
+    ``enabled`` is the *only* thing instrumentation sites check; a tracer
+    with ``enabled=False`` (see :class:`NullTracer`) costs one attribute
+    read per site and allocates nothing.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        sink: Optional[object] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.sink = sink if sink is not None else ListSink()
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at the live simulation clock (engine does this)."""
+        self.clock = clock
+
+    def emit(self, kind: str, ts: Optional[float] = None, **args: object) -> None:
+        """Record one event, stamping the bound clock unless ``ts`` given."""
+        self.sink.append(TraceEvent(self.clock() if ts is None else ts, kind, args))
+
+    def events(self) -> List[TraceEvent]:
+        return list(self.sink)
+
+    def clear(self) -> None:
+        self.sink.clear()
+
+    @property
+    def num_events(self) -> int:
+        return len(self.sink)
+
+    # NOTE: deliberately no __len__ — an empty tracer must stay truthy so
+    # `tracer or NULL_TRACER` style defaults cannot silently disable it.
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every emit is a no-op.
+
+    Instrumentation sites guard on ``tracer.enabled`` so ``emit`` is never
+    even called on the hot path; the override is belt-and-braces for
+    callers that skip the guard.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sink=ListSink())
+
+    def emit(self, kind: str, ts: Optional[float] = None, **args: object) -> None:
+        return None
+
+
+#: Shared disabled tracer used as every component's default.
+NULL_TRACER = NullTracer()
+
+
+def filter_events(events: Iterable[TraceEvent], kind: str) -> List[TraceEvent]:
+    """Events of one kind, in emission order."""
+    return [e for e in events if e.kind == kind]

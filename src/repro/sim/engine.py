@@ -33,6 +33,18 @@ from repro.core.policies import (
     LaunchRequest,
 )
 from repro.errors import SimulationError
+from repro.obs.tracer import (
+    CTA_DISPATCH,
+    CTA_FINISH,
+    KERNEL_ARRIVAL,
+    KERNEL_COMPLETE,
+    KERNEL_FIRST_DISPATCH,
+    KERNEL_LAUNCH_CALL,
+    KERNEL_SUSPEND,
+    LAUNCH_DECISION,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.runtime.streams import PerChildStream, StreamPolicy
 from repro.sim.config import WARP_SIZE, GPUConfig
 from repro.sim.events import Event, EventQueue
@@ -82,6 +94,7 @@ class GPUSimulator:
         policy: Optional[LaunchPolicy] = None,
         stream_policy: Optional[StreamPolicy] = None,
         *,
+        tracer: Optional[Tracer] = None,
         trace_interval: float = 1000.0,
         max_events: int = 20_000_000,
         api_call_cycles: float = 40.0,
@@ -93,6 +106,9 @@ class GPUSimulator:
         self.config = config or GPUConfig()
         self.policy = policy or AlwaysLaunchPolicy()
         self.stream_policy = stream_policy or PerChildStream()
+        #: Structured event tracer (repro.obs); the disabled default makes
+        #: every instrumentation site a single attribute check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.trace_interval = trace_interval
         self.max_events = max_events
         self.api_call_cycles = api_call_cycles
@@ -129,14 +145,18 @@ class GPUSimulator:
         self.stats.finalize(self._last_completion)
         self.stats.l2_hits = self.memory.l2.hits
         self.stats.l2_misses = self.memory.l2.misses
+        self.stats.peak_ccqs_depth = self.metrics.peak_n
         return SimResult(app.name, self.policy.describe(), self.stats)
 
     def _reset(self) -> None:
         cfg = self.config
         self.queue = EventQueue()
+        self.tracer.bind_clock(lambda: self.queue.now)
         self.smxs = [SMX(i, cfg) for i in range(cfg.num_smx)]
-        self.gmu = GMU(cfg)
-        self.launch_unit = LaunchUnit(cfg.launch, self.queue, self._on_kernel_arrival)
+        self.gmu = GMU(cfg, tracer=self.tracer)
+        self.launch_unit = LaunchUnit(
+            cfg.launch, self.queue, self._on_kernel_arrival, tracer=self.tracer
+        )
         self.memory = MemorySystem(
             cfg.memory,
             max_lines_per_cta=self.max_lines_per_cta,
@@ -151,6 +171,7 @@ class GPUSimulator:
         )
         self.stream_policy.reset()
         self.policy.bind(self.metrics, cfg)
+        self.policy.set_audit(self.tracer.enabled)
         self._kernel_ids = itertools.count()
         self._smx_events: List[Optional[Event]] = [None] * cfg.num_smx
         self._smx_rr = 0
@@ -163,6 +184,8 @@ class GPUSimulator:
         self._res_regs = 0
         self._res_shmem = 0
         self._dispatching = False
+        # CTA shapes that failed placement this dispatch pass (re-seeded at
+        # the top of every _dispatch call).
         self._failed_shapes: set = set()
 
     def _submit_next_root(self) -> None:
@@ -171,6 +194,15 @@ class GPUSimulator:
             next(self._kernel_ids), spec, stream_id=self._host_index, is_child=False
         )
         kernel.record.launch_call_time = self.queue.now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                KERNEL_LAUNCH_CALL,
+                kernel_id=kernel.kernel_id,
+                kernel=spec.name,
+                is_child=False,
+                num_ctas=kernel.num_ctas,
+                stream=kernel.stream_id,
+            )
         self._unfinished_kernels += 1
         self._on_kernel_arrival(kernel)
 
@@ -181,6 +213,16 @@ class GPUSimulator:
         kernel.record.arrival_time = self.queue.now
         self.stats.kernels[kernel.kernel_id] = kernel.record
         self.gmu.submit(kernel)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                KERNEL_ARRIVAL,
+                kernel_id=kernel.kernel_id,
+                kernel=kernel.spec.name,
+                is_child=kernel.is_child,
+                num_ctas=kernel.num_ctas,
+                stream=kernel.stream_id,
+                pending=self.gmu.pending_kernels,
+            )
         self._dispatch()
 
     def _on_dtbl_arrival(self, kernel: KernelInstance) -> None:
@@ -189,6 +231,16 @@ class GPUSimulator:
         kernel.via_dtbl = True
         self.stats.kernels[kernel.kernel_id] = kernel.record
         self._dtbl_pending.append(kernel)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                KERNEL_ARRIVAL,
+                kernel_id=kernel.kernel_id,
+                kernel=kernel.spec.name,
+                is_child=kernel.is_child,
+                num_ctas=kernel.num_ctas,
+                stream=kernel.stream_id,
+                via_dtbl=True,
+            )
         self._dispatch()
 
     def _dispatch(self) -> None:
@@ -200,7 +252,7 @@ class GPUSimulator:
         self._dispatching = True
         # Within one dispatch pass resources only shrink, so a CTA shape
         # that failed to fit once cannot fit later in the same pass.
-        self._failed_shapes: set = set()
+        self._failed_shapes = set()
         try:
             while self._dispatch_round():
                 pass
@@ -268,6 +320,14 @@ class GPUSimulator:
         start, stop = threads.start, threads.stop
         if kernel.record.first_dispatch_time is None:
             kernel.record.first_dispatch_time = now
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    KERNEL_FIRST_DISPATCH,
+                    ts=now,
+                    kernel_id=kernel.kernel_id,
+                    kernel=spec.name,
+                    queuing_latency=kernel.record.queuing_latency,
+                )
 
         items = spec.thread_items[start:stop]
         # Memory footprint of the CTA's unconditional work.
@@ -348,6 +408,17 @@ class GPUSimulator:
     def _place_on_smx(self, cta: CTAInstance, smx: SMX, now: float) -> None:
         smx.add(cta, now)
         cta.dispatch_time = now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CTA_DISPATCH,
+                ts=now,
+                kernel_id=cta.kernel.kernel_id,
+                kernel=cta.kernel.spec.name,
+                cta_index=cta.cta_index,
+                smx=smx.index,
+                is_child=cta.is_child,
+                warps=cta.num_warps,
+            )
         if cta.is_child:
             self.metrics.on_cta_started(now)
             self._res_child_ctas += 1
@@ -381,12 +452,18 @@ class GPUSimulator:
                 )
             )
             if kind is DecisionKind.SERIAL:
+                if self.tracer.enabled:
+                    self._trace_decision(kind, decision, req, cta, now, None)
                 self._apply_serial(cta, decision, req)
                 continue
             if kind is DecisionKind.REUSE:
+                if self.tracer.enabled:
+                    self._trace_decision(kind, decision, req, cta, now, None)
                 self._apply_reuse(cta, req)
                 continue
             child = self._make_child_kernel(kernel, cta, req)
+            if self.tracer.enabled:
+                self._trace_decision(kind, decision, req, cta, now, child)
             self.metrics.advance(now)
             self.metrics.on_ctas_admitted(child.num_ctas)
             self.stats.child_kernels_launched += 1
@@ -405,6 +482,40 @@ class GPUSimulator:
         for batch in batches.values():
             self.launch_unit.submit_batch(batch)
         smx.refresh_demand(cta, now)
+
+    def _trace_decision(
+        self,
+        kind: DecisionKind,
+        decision: PendingDecision,
+        req: ChildRequest,
+        cta: CTAInstance,
+        now: float,
+        child: Optional[KernelInstance],
+    ) -> None:
+        """Emit one launch-decision event, with the SPAWN audit payload.
+
+        ``policy.decision_audit()`` contributes the monitored inputs
+        (``n``, ``n_con``, ``t_cta``, ``t_warp``) and the Equation 1/2
+        estimates when the active policy has a prediction model; the audit
+        layer joins launched decisions with the child's completion event.
+        """
+        args: Dict[str, object] = {
+            "verdict": kind.value,
+            "items": req.items,
+            "num_ctas": req.num_ctas,
+            "depth": cta.kernel.spec.depth + 1,
+            "parent_kernel_id": cta.kernel.kernel_id,
+            "cta_index": cta.cta_index,
+            "smx": cta.smx_index,
+            "warp": decision.warp,
+            "tid": decision.tid,
+        }
+        if child is not None:
+            args["child_kernel_id"] = child.kernel_id
+        audit = self.policy.decision_audit()
+        if audit is not None:
+            args.update(audit)
+        self.tracer.emit(LAUNCH_DECISION, ts=now, **args)
 
     def _apply_serial(
         self, cta: CTAInstance, decision: PendingDecision, req: ChildRequest
@@ -527,6 +638,15 @@ class GPUSimulator:
         self._res_regs -= cta.regs
         self._res_shmem -= cta.shmem
         cta.compute_done_time = now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CTA_FINISH,
+                ts=now,
+                kernel_id=cta.kernel.kernel_id,
+                cta_index=cta.cta_index,
+                is_child=cta.is_child,
+                exec_time=now - cta.dispatch_time,
+            )
 
     def _on_cta_compute_done(self, cta: CTAInstance, now: float) -> None:
         kernel = cta.kernel
@@ -550,6 +670,13 @@ class GPUSimulator:
             # Every CTA is done computing; the kernel only waits on
             # descendants now, so it releases its HWQ (grid suspension).
             kernel.hwq_released = True
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    KERNEL_SUSPEND,
+                    ts=now,
+                    kernel_id=kernel.kernel_id,
+                    kernel=kernel.spec.name,
+                )
             self.gmu.on_kernel_suspended(kernel)
             self._dispatch()
 
@@ -563,6 +690,14 @@ class GPUSimulator:
         kernel.record.completion_time = now
         self._unfinished_kernels -= 1
         self._last_completion = now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                KERNEL_COMPLETE,
+                ts=now,
+                kernel_id=kernel.kernel_id,
+                kernel=kernel.spec.name,
+                is_child=kernel.is_child,
+            )
         if kernel.via_dtbl:
             if kernel in self._dtbl_pending:
                 self._dtbl_pending.remove(kernel)

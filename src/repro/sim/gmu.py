@@ -22,6 +22,7 @@ from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.tracer import HWQ_BIND, HWQ_RELEASE, NULL_TRACER, Tracer
 from repro.sim.config import GPUConfig
 from repro.sim.instances import KernelInstance, KernelState
 
@@ -29,8 +30,11 @@ from repro.sim.instances import KernelInstance, KernelState
 class GMU:
     """Pending-kernel pool and HWQ occupancy tracking."""
 
-    def __init__(self, config: GPUConfig):
+    def __init__(self, config: GPUConfig, *, tracer: Tracer = NULL_TRACER):
         self.config = config
+        #: Observability sink; events are stamped with the tracer's bound
+        #: clock (the GMU has no clock of its own).
+        self.tracer = tracer
         #: SWQ id -> FIFO of kernels submitted to that stream.
         self._streams: Dict[int, Deque[KernelInstance]] = {}
         #: SWQ ids currently bound to a HWQ (insertion ordered).
@@ -96,6 +100,8 @@ class GMU:
                 continue
             self._bound[swq] = None
             self._bound_list.append(swq)
+            if self.tracer.enabled:
+                self.tracer.emit(HWQ_BIND, swq=swq, bound=len(self._bound))
             self._refresh_head(swq)
 
     def _refresh_head(self, swq: int) -> None:
@@ -162,6 +168,8 @@ class GMU:
             if swq in self._bound:
                 del self._bound[swq]
                 self._bound_list.remove(swq)
+                if self.tracer.enabled:
+                    self.tracer.emit(HWQ_RELEASE, swq=swq, bound=len(self._bound))
                 self._bind_waiting_streams()
 
     def drained(self) -> bool:

@@ -19,6 +19,13 @@ from collections import deque
 from typing import Callable, Deque, List, Tuple
 
 from repro.errors import LaunchError
+from repro.obs.tracer import (
+    LAUNCH_BATCH_ARRIVE,
+    LAUNCH_BATCH_SERVICE,
+    LAUNCH_BATCH_SUBMIT,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.sim.config import LaunchOverheadConfig
 from repro.sim.events import EventQueue
 from repro.sim.instances import KernelInstance
@@ -35,10 +42,13 @@ class LaunchUnit:
         config: LaunchOverheadConfig,
         queue: EventQueue,
         deliver: DeliverFn,
+        *,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.config = config
         self.queue = queue
         self.deliver = deliver
+        self.tracer = tracer
         self._busy_slots = 0
         self._waiting: Deque[List[KernelInstance]] = deque()
         # Telemetry
@@ -64,6 +74,14 @@ class LaunchUnit:
         self.kernels_submitted += len(kernels)
         for kernel in kernels:
             kernel.record.launch_call_time = now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LAUNCH_BATCH_SUBMIT,
+                ts=now,
+                kernels=len(kernels),
+                busy_slots=self._busy_slots,
+                backlog=len(self._waiting),
+            )
         if self._busy_slots < self.config.service_slots:
             self._start_service(kernels)
         else:
@@ -74,6 +92,15 @@ class LaunchUnit:
         self._busy_slots += 1
         occupancy = self.config.slope_cycles * len(kernels)
         arrival_delay = occupancy + self.config.base_cycles
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LAUNCH_BATCH_SERVICE,
+                ts=self.queue.now,
+                kernels=len(kernels),
+                busy_slots=self._busy_slots,
+                backlog=len(self._waiting),
+                service_cycles=occupancy,
+            )
         self.queue.schedule_in(occupancy, lambda: self._release_slot())
         self.queue.schedule_in(arrival_delay, lambda ks=kernels: self._arrive(ks))
 
@@ -86,6 +113,14 @@ class LaunchUnit:
             self._start_service(batch)
 
     def _arrive(self, kernels: List[KernelInstance]) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LAUNCH_BATCH_ARRIVE,
+                ts=self.queue.now,
+                kernels=len(kernels),
+                busy_slots=self._busy_slots,
+                backlog=len(self._waiting),
+            )
         for kernel in kernels:
             self.deliver(kernel)
 

@@ -103,6 +103,10 @@ class SimStats:
         self.l2_hits = 0
         self.l2_misses = 0
 
+        # Peak CCQS depth (MetricsMonitor.peak_n, copied by the engine):
+        # the deepest the child-CTA queuing system ever got.
+        self.peak_ccqs_depth = 0
+
     # ------------------------------------------------------------------
     # Occupancy / timeline tracking
     # ------------------------------------------------------------------
@@ -210,4 +214,5 @@ class SimStats:
             "offload_fraction": self.offload_fraction,
             "mean_child_queuing_latency": self.mean_child_queuing_latency,
             "mean_child_cta_time": self.mean_child_cta_time,
+            "peak_ccqs_depth": self.peak_ccqs_depth,
         }

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -80,3 +81,60 @@ class TestCommands:
         code, text = run_cli("experiment", "fig01")
         assert code == 0
         assert "imbalance" in text
+
+
+class TestObservabilityCommands:
+    def test_run_json_is_machine_readable(self):
+        code, text = run_cli("run", "GC-citation", "--scheme", "spawn", "--json")
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["makespan"] > 0
+        assert "speedup_vs_flat" in summary
+        assert "peak_ccqs_depth" in summary
+
+    def test_run_json_flat_has_no_speedup(self):
+        code, text = run_cli("run", "GC-citation", "--scheme", "flat", "--json")
+        assert code == 0
+        assert "speedup_vs_flat" not in json.loads(text)
+
+    def test_run_trace_exports(self, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        code, _ = run_cli(
+            "run", "GC-citation", "--scheme", "spawn",
+            "--trace", str(jsonl), "--chrome-trace", str(chrome),
+        )
+        assert code == 0
+        lines = jsonl.read_text().strip().splitlines()
+        assert lines and all(json.loads(l)["kind"] for l in lines)
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_run_profile_prints_timings(self):
+        code, text = run_cli("run", "GC-citation", "--scheme", "flat", "--profile")
+        assert code == 0
+        assert "harness wall-clock profile" in text
+        assert "sim.run/GC-citation/flat" in text
+
+    def test_audit_prints_prediction_error_table(self):
+        code, text = run_cli("audit", "GC-citation", "--scheme", "spawn")
+        assert code == 0
+        assert "decision audit" in text
+        assert "mean_err" in text
+        assert "GC-citation" in text
+
+    def test_audit_json(self):
+        code, text = run_cli("audit", "GC-citation", "--json")
+        assert code == 0
+        stats = json.loads(text)["GC-citation"]
+        assert stats["decisions"] > 0
+        assert "mean_rel_error" in stats
+
+    def test_audit_baseline_dp_has_no_error_columns(self):
+        code, text = run_cli("audit", "GC-citation", "--scheme", "baseline-dp")
+        assert code == 0
+        assert "-" in text  # no prediction payload -> dashes
+
+    def test_audit_unknown_benchmark_fails_cleanly(self):
+        code, _ = run_cli("audit", "not-a-benchmark")
+        assert code == 1

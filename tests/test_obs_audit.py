@@ -1,0 +1,168 @@
+"""Tests for the SPAWN decision audit (repro.obs.audit)."""
+
+import pytest
+
+from repro.harness.runner import RunConfig, Runner
+from repro.obs.audit import DecisionAudit, DecisionAuditRecord
+from repro.obs.tracer import (
+    KERNEL_COMPLETE,
+    LAUNCH_DECISION,
+    TraceEvent,
+    Tracer,
+)
+
+
+def decision_event(ts, verdict, child_id=None, **extra):
+    args = {
+        "verdict": verdict,
+        "items": 100,
+        "num_ctas": 2,
+        "depth": 1,
+        "parent_kernel_id": 0,
+    }
+    if child_id is not None:
+        args["child_kernel_id"] = child_id
+    args.update(extra)
+    return TraceEvent(ts, LAUNCH_DECISION, args)
+
+
+def completion_event(ts, kernel_id):
+    return TraceEvent(
+        ts, KERNEL_COMPLETE, {"kernel_id": kernel_id, "kernel": "k", "is_child": True}
+    )
+
+
+class TestJoin:
+    def test_launched_decision_joins_child_completion(self):
+        events = [
+            decision_event(
+                100.0, "launch", child_id=7,
+                n=4, n_con=2, t_cta=50.0, t_warp=1.0,
+                t_child=150.0, t_parent=200.0, bootstrap=False,
+            ),
+            completion_event(260.0, 7),
+        ]
+        audit = DecisionAudit.from_events(events)
+        (record,) = audit.records
+        assert record.joined
+        assert record.t_child_actual == pytest.approx(160.0)
+        assert record.abs_error == pytest.approx(-10.0)
+        assert record.rel_error == pytest.approx(10.0 / 160.0)
+
+    def test_bootstrap_decision_has_no_prediction(self):
+        events = [
+            decision_event(
+                0.0, "launch", child_id=3,
+                n=0, n_con=0, t_cta=0.0, t_warp=0.0,
+                t_child=0.0, t_parent=0.0, bootstrap=True,
+            ),
+            completion_event(500.0, 3),
+        ]
+        audit = DecisionAudit.from_events(events)
+        (record,) = audit.records
+        assert record.bootstrap
+        assert not record.has_prediction
+        assert not record.joined
+        assert record.rel_error is None
+
+    def test_declined_decision_never_joins(self):
+        events = [
+            decision_event(
+                10.0, "serial",
+                n=4, n_con=2, t_cta=50.0, t_warp=1.0,
+                t_child=300.0, t_parent=100.0, bootstrap=False,
+            ),
+        ]
+        audit = DecisionAudit.from_events(events)
+        (record,) = audit.records
+        assert not record.launched
+        assert record.has_prediction  # the model ran, it just said no
+        assert not record.joined  # but there is no child to join against
+
+    def test_unfinished_child_stays_unjoined(self):
+        events = [
+            decision_event(
+                10.0, "launch", child_id=9,
+                t_child=100.0, t_parent=200.0, bootstrap=False,
+            )
+            # no completion event (e.g. ring buffer dropped it)
+        ]
+        audit = DecisionAudit.from_events(events)
+        assert not audit.records[0].joined
+
+    def test_threshold_style_decision_without_payload(self):
+        # Policies without a prediction model emit only the verdict.
+        events = [decision_event(5.0, "launch", child_id=1), completion_event(50.0, 1)]
+        audit = DecisionAudit.from_events(events)
+        (record,) = audit.records
+        assert record.t_child_pred is None
+        assert not record.has_prediction
+
+
+class TestStats:
+    def test_counts_and_errors(self):
+        events = [
+            decision_event(0.0, "launch", child_id=1, t_child=0.0, t_parent=0.0,
+                           bootstrap=True),
+            decision_event(10.0, "launch", child_id=2, t_child=90.0, t_parent=120.0,
+                           bootstrap=False),
+            decision_event(20.0, "serial", t_child=500.0, t_parent=100.0,
+                           bootstrap=False),
+            completion_event(100.0, 1),
+            completion_event(110.0, 2),  # actual 100, predicted 90
+        ]
+        stats = DecisionAudit.from_events(events).stats()
+        assert stats["decisions"] == 3
+        assert stats["launched"] == 2
+        assert stats["declined"] == 1
+        assert stats["bootstrap"] == 1
+        assert stats["predicted"] == 2
+        assert stats["joined"] == 1
+        assert stats["mean_rel_error"] == pytest.approx(0.1)
+        assert stats["max_rel_error"] == pytest.approx(0.1)
+        assert stats["mean_bias"] == pytest.approx(-10.0)
+
+    def test_no_joined_records_omits_error_keys(self):
+        stats = DecisionAudit.from_events(
+            [decision_event(0.0, "serial", t_child=1.0, t_parent=0.5, bootstrap=False)]
+        ).stats()
+        assert "mean_rel_error" not in stats
+        assert stats["decisions"] == 1
+
+    def test_zero_actual_time_excluded_from_rel_error(self):
+        record = DecisionAuditRecord(
+            time=0.0, verdict="launch", items=1, num_ctas=1, depth=1,
+            parent_kernel_id=0, child_kernel_id=1,
+            t_child_pred=10.0, t_parent_pred=20.0, t_child_actual=0.0,
+        )
+        assert record.rel_error is None
+        assert record.abs_error == pytest.approx(10.0)
+
+
+class TestIntegration:
+    def test_spawn_audit_on_real_run(self):
+        runner = Runner()
+        tracer = Tracer()
+        runner.run(
+            RunConfig(benchmark="GC-citation", scheme="spawn"), tracer=tracer
+        )
+        audit = DecisionAudit.from_events(tracer.events())
+        stats = audit.stats()
+        assert stats["decisions"] > 0
+        assert stats["launched"] + stats["declined"] == stats["decisions"]
+        assert stats["joined"] > 0
+        # The controller's model should be in the right ballpark on this
+        # benchmark: mean relative error well under 100%.
+        assert 0.0 <= stats["mean_rel_error"] < 1.0
+        assert stats["max_rel_error"] >= stats["mean_rel_error"]
+
+    def test_baseline_dp_audit_has_verdicts_but_no_predictions(self):
+        runner = Runner()
+        tracer = Tracer()
+        runner.run(
+            RunConfig(benchmark="GC-citation", scheme="baseline-dp"), tracer=tracer
+        )
+        stats = DecisionAudit.from_events(tracer.events()).stats()
+        assert stats["decisions"] > 0
+        assert stats["predicted"] == 0
+        assert "mean_rel_error" not in stats

@@ -1,0 +1,152 @@
+"""Tests for the JSONL and Chrome trace exporters (repro.obs.export)."""
+
+import io
+import json
+
+from repro.harness import schemes as sch
+from repro.obs.audit import DecisionAudit
+from repro.obs.export import (
+    PID_GMU,
+    PID_LAUNCH_UNIT,
+    PID_SMX,
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import (
+    CTA_DISPATCH,
+    CTA_FINISH,
+    HWQ_BIND,
+    LAUNCH_BATCH_SUBMIT,
+    LAUNCH_DECISION,
+    TraceEvent,
+    Tracer,
+)
+from repro.sim.engine import GPUSimulator
+from repro.workloads.base import get_benchmark
+
+
+def traced_run(benchmark="GC-citation", scheme="spawn"):
+    bench = get_benchmark(benchmark)
+    tracer = Tracer()
+    sim = GPUSimulator(
+        policy=sch.make_policy(sch.parse_scheme(scheme), bench), tracer=tracer
+    )
+    sim.run(bench.dp(1))
+    return tracer.events()
+
+
+class TestJsonl:
+    def test_round_trip_preserves_events(self, tmp_path):
+        events = traced_run()
+        path = str(tmp_path / "trace.jsonl")
+        count = write_jsonl(events, path)
+        assert count == len(events)
+        loaded = read_jsonl(path)
+        assert len(loaded) == len(events)
+        for orig, back in zip(events, loaded):
+            assert back.ts == orig.ts
+            assert back.kind == orig.kind
+            assert back.args == orig.args
+
+    def test_file_object_and_blank_lines(self):
+        events = [TraceEvent(1.0, CTA_DISPATCH, {"kernel_id": 0, "cta_index": 0})]
+        buf = io.StringIO()
+        write_jsonl(events, buf)
+        buf.write("\n")  # trailing blank line must be tolerated
+        buf.seek(0)
+        loaded = read_jsonl(buf)
+        assert len(loaded) == 1
+        assert loaded[0].args == {"kernel_id": 0, "cta_index": 0}
+
+    def test_each_line_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(traced_run()[:50], path)
+        with open(path) as fh:
+            for line in fh:
+                obj = json.loads(line)
+                assert "ts" in obj and "kind" in obj
+
+    def test_audit_accepts_round_tripped_events(self, tmp_path):
+        events = traced_run()
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(events, path)
+        direct = DecisionAudit.from_events(events).stats()
+        reloaded = DecisionAudit.from_events(read_jsonl(path)).stats()
+        assert direct == reloaded
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        doc = chrome_trace(traced_run())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_per_smx_tracks_named(self):
+        doc = chrome_trace(traced_run())
+        names = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == PID_SMX
+        ]
+        labels = {e["args"]["name"] for e in names}
+        assert len(labels) > 1
+        assert all(label.startswith("SMX ") for label in labels)
+
+    def test_process_metadata_for_all_components(self):
+        doc = chrome_trace(traced_run())
+        procs = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert procs[PID_SMX] == "SMXs"
+        assert procs[PID_GMU] == "GMU"
+        assert procs[PID_LAUNCH_UNIT] == "Launch unit"
+
+    def test_cta_slices_match_dispatch_finish_pairs(self):
+        events = traced_run()
+        doc = chrome_trace(events)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        finishes = [e for e in events if e.kind == CTA_FINISH]
+        assert len(slices) == len(finishes) > 0
+        for s in slices:
+            assert s["dur"] >= 0
+            assert s["pid"] == PID_SMX
+            assert s["cat"] in ("parent", "child")
+
+    def test_counters_emitted_for_gmu_and_launch_unit(self):
+        events = traced_run()
+        doc = chrome_trace(events)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        gmu = [e for e in counters if e["pid"] == PID_GMU]
+        lu = [e for e in counters if e["pid"] == PID_LAUNCH_UNIT]
+        assert any(e.kind == HWQ_BIND for e in events) and gmu
+        assert any(e.kind == LAUNCH_BATCH_SUBMIT for e in events) and lu
+
+    def test_decisions_are_instant_markers_with_payload(self):
+        events = traced_run()
+        doc = chrome_trace(events)
+        markers = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        decisions = [e for e in events if e.kind == LAUNCH_DECISION]
+        assert len(markers) == len(decisions) > 0
+        predicted = [m for m in markers if "t_child" in m["args"]]
+        assert predicted, "spawn markers should carry the prediction payload"
+        assert all(m["name"].startswith("decision:") for m in markers)
+
+    def test_unmatched_dispatch_is_skipped(self):
+        # A finish without its dispatch (ring-buffer truncation) is dropped
+        # rather than crashing or producing a negative-duration slice.
+        finish_only = [
+            TraceEvent(10.0, CTA_FINISH, {"kernel_id": 1, "cta_index": 0})
+        ]
+        doc = chrome_trace(finish_only)
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_write_chrome_trace_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(traced_run(), path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert len(doc["traceEvents"]) == count > 0

@@ -1,0 +1,83 @@
+"""Tests for the counter/timer registry (repro.obs.profile)."""
+
+import time
+
+from repro.harness.runner import RunConfig, Runner
+from repro.obs.profile import REGISTRY, Registry, TimerStat
+
+
+class TestCounters:
+    def test_count_creates_and_accumulates(self):
+        reg = Registry()
+        assert reg.count("x") == 1.0
+        assert reg.count("x", 2.5) == 3.5
+        assert reg.counter_rows() == [("x", 3.5)]
+
+    def test_counters_independent(self):
+        reg = Registry()
+        reg.count("a")
+        reg.count("b", 10)
+        assert dict(reg.counter_rows()) == {"a": 1.0, "b": 10.0}
+
+
+class TestTimers:
+    def test_profile_measures_elapsed(self):
+        reg = Registry()
+        with reg.profile("sleep"):
+            time.sleep(0.01)
+        ((name, calls, total, mean, mx),) = reg.timer_rows()
+        assert name == "sleep" and calls == 1
+        assert total >= 0.01
+        assert mean == total and mx == total
+
+    def test_profile_aggregates_repeats(self):
+        reg = Registry()
+        for _ in range(3):
+            with reg.profile("loop"):
+                pass
+        ((_, calls, total, mean, mx),) = reg.timer_rows()
+        assert calls == 3
+        assert mx >= mean
+        assert abs(total - 3 * mean) < 1e-9
+
+    def test_profile_records_on_exception(self):
+        reg = Registry()
+        try:
+            with reg.profile("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert reg.timers["boom"].count == 1
+
+    def test_add_time_and_rows_sorted_by_total(self):
+        reg = Registry()
+        reg.add_time("fast", 0.001)
+        reg.add_time("slow", 1.0)
+        rows = reg.timer_rows()
+        assert [r[0] for r in rows] == ["slow", "fast"]
+
+    def test_timer_stat_mean_empty(self):
+        assert TimerStat().mean == 0.0
+
+    def test_clear(self):
+        reg = Registry()
+        reg.count("c")
+        reg.add_time("t", 1.0)
+        reg.clear()
+        assert reg.counter_rows() == [] and reg.timer_rows() == []
+
+
+class TestRunnerIntegration:
+    def test_runner_times_simulations_and_counts_cache(self):
+        REGISTRY.clear()
+        runner = Runner()
+        config = RunConfig(benchmark="GC-citation", scheme="flat")
+        runner.run(config)
+        runner.run(config)  # cache hit
+        timers = dict(
+            (name, calls) for name, calls, *_ in REGISTRY.timer_rows()
+        )
+        assert timers.get("sim.run/GC-citation/flat") == 1
+        counters = dict(REGISTRY.counter_rows())
+        assert counters.get("runner.cache_hits") == 1.0
+        assert counters.get("runner.cache_misses") == 1.0

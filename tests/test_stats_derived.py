@@ -1,0 +1,95 @@
+"""Edge-case tests for derived statistics.
+
+Covers the previously untested derived properties: the None-field
+combinations of :class:`KernelRecord.queuing_latency` /
+``launch_overhead`` and the ordering contract of
+:meth:`SimStats.launch_cdf`, plus the newly surfaced ``peak_ccqs_depth``.
+"""
+
+import pytest
+
+from repro.harness.runner import RunConfig, Runner
+from repro.sim.stats import KernelRecord, SimStats
+
+
+def record(**kwargs):
+    defaults = dict(kernel_id=0, name="k", is_child=True, depth=1, num_ctas=4)
+    defaults.update(kwargs)
+    return KernelRecord(**defaults)
+
+
+class TestKernelRecordEdgeCases:
+    def test_all_timestamps_none(self):
+        rec = record()
+        assert rec.queuing_latency is None
+        assert rec.launch_overhead is None
+
+    def test_queuing_latency_needs_both_fields(self):
+        assert record(arrival_time=10.0).queuing_latency is None
+        assert record(first_dispatch_time=20.0).queuing_latency is None
+
+    def test_launch_overhead_needs_both_fields(self):
+        assert record(launch_call_time=5.0).launch_overhead is None
+        assert record(arrival_time=9.0).launch_overhead is None
+
+    def test_queuing_latency_value(self):
+        rec = record(arrival_time=10.0, first_dispatch_time=35.5)
+        assert rec.queuing_latency == pytest.approx(25.5)
+
+    def test_launch_overhead_value(self):
+        rec = record(launch_call_time=5.0, arrival_time=9.0)
+        assert rec.launch_overhead == pytest.approx(4.0)
+
+    def test_zero_latency_is_zero_not_none(self):
+        rec = record(
+            launch_call_time=7.0, arrival_time=7.0, first_dispatch_time=7.0
+        )
+        assert rec.launch_overhead == 0.0
+        assert rec.queuing_latency == 0.0
+
+    def test_completion_time_does_not_affect_derived(self):
+        # completion_time is not an input to either property.
+        rec = record(completion_time=100.0)
+        assert rec.queuing_latency is None
+        assert rec.launch_overhead is None
+
+
+class TestLaunchCdf:
+    def test_empty(self):
+        assert SimStats().launch_cdf() == []
+
+    def test_sorted_even_when_recorded_out_of_order(self):
+        stats = SimStats()
+        stats.launch_times = [30.0, 10.0, 20.0]
+        cdf = stats.launch_cdf()
+        assert cdf == [(10.0, 1), (20.0, 2), (30.0, 3)]
+
+    def test_duplicate_times_keep_cumulative_count(self):
+        stats = SimStats()
+        stats.launch_times = [5.0, 5.0, 5.0]
+        assert stats.launch_cdf() == [(5.0, 1), (5.0, 2), (5.0, 3)]
+
+    def test_counts_are_strictly_increasing(self):
+        stats = SimStats()
+        stats.launch_times = [3.0, 1.0, 2.0, 1.0]
+        counts = [c for _, c in stats.launch_cdf()]
+        assert counts == list(range(1, 5))
+
+
+class TestPeakCcqsDepth:
+    def test_default_zero_and_in_summary(self):
+        stats = SimStats()
+        assert stats.peak_ccqs_depth == 0
+        assert stats.summary()["peak_ccqs_depth"] == 0
+
+    def test_reported_from_real_spawn_run(self):
+        result = Runner().run(RunConfig(benchmark="GC-citation", scheme="spawn"))
+        summary = result.summary()
+        assert "peak_ccqs_depth" in summary
+        # SPAWN launched children on this benchmark, so the CCQS was
+        # non-empty at some point.
+        assert summary["peak_ccqs_depth"] > 0
+
+    def test_flat_run_has_zero_depth(self):
+        result = Runner().run(RunConfig(benchmark="GC-citation", scheme="flat"))
+        assert result.summary()["peak_ccqs_depth"] == 0
