@@ -19,6 +19,17 @@ Commands
     The Fig. 5 threshold sweep for one benchmark.
 ``experiment ID``
     Regenerate one paper table/figure (``all`` runs everything).
+``suite --jobs N``
+    Run the complete evaluation suite, fanning the declared run-set out
+    across ``N`` worker processes first and persisting every result in
+    the on-disk cache (``.repro-cache/`` or ``$REPRO_CACHE_DIR``); a warm
+    cache makes a repeat suite purely a read.
+``cache [stats|clear]``
+    Inspect or empty the persistent result store.
+``bench``
+    Time the engine on its slowest benchmark/scheme pairs and write
+    ``BENCH_<date>.json`` (speedup vs. recorded reference timings plus a
+    bit-identical-makespan check).
 
 Examples
 --------
@@ -29,6 +40,9 @@ Examples
     python -m repro audit all --scheme spawn
     python -m repro sweep SSSP-citation
     python -m repro experiment fig15
+    python -m repro suite --jobs 4
+    python -m repro cache stats
+    python -m repro bench --output BENCH.json
 """
 
 from __future__ import annotations
@@ -92,6 +106,36 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("id", help="table1, table2, fig01..fig21, or 'all'")
     exp.add_argument("--seed", type=int, default=1)
+
+    suite = sub.add_parser(
+        "suite", help="run every experiment, fanned out over worker processes"
+    )
+    suite.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    suite.add_argument("--seed", type=int, default=1)
+    suite.add_argument("--experiments", default=None, metavar="ID[,ID...]",
+                       help="comma-separated subset (default: the full suite)")
+    suite.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result store "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    suite.add_argument("--no-store", action="store_true",
+                       help="skip the on-disk cache entirely")
+
+    cache = sub.add_parser("cache", help="inspect or clear the on-disk result store")
+    cache.add_argument("action", nargs="?", default="stats",
+                       choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="store location (default: $REPRO_CACHE_DIR or "
+                            ".repro-cache)")
+
+    bench = sub.add_parser(
+        "bench", help="time the engine's slowest pairs; write BENCH_<date>.json"
+    )
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timed repetitions per pair, best kept (default: 3)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--output", default=None, metavar="FILE",
+                       help="report path (default: BENCH_<YYYYMMDD>.json)")
 
     plot = sub.add_parser(
         "plot", help="ASCII concurrency timeline for one run (Fig. 6/19 style)"
@@ -273,6 +317,117 @@ def cmd_experiment(args, out) -> int:
     return 0
 
 
+def cmd_suite(args, out) -> int:
+    from repro.experiments import run_all
+    from repro.harness.parallel import default_jobs
+    from repro.harness.store import ResultStore
+    from repro.obs.profile import REGISTRY
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    store = None if args.no_store else ResultStore(args.cache_dir)
+    runner = Runner(store=store)
+    if args.experiments:
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.experiments.plans import suite_plan
+        from repro.harness.parallel import ParallelRunner
+
+        names = [name.strip() for name in args.experiments.split(",") if name.strip()]
+        unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+        if unknown:
+            print(
+                f"unknown experiments: {', '.join(unknown)}; "
+                f"known: {', '.join(ALL_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        ParallelRunner(runner).run_many(suite_plan(args.seed, names), jobs=jobs)
+        results = (ALL_EXPERIMENTS[name](runner, args.seed) for name in names)
+    else:
+        results = run_all(runner, seed=args.seed, jobs=jobs)
+    for result in results:
+        print(result.table(), file=out)
+        print(file=out)
+    counters = REGISTRY.counters
+    print(
+        "suite done: "
+        f"jobs={jobs} "
+        f"fanned_out={int(counters.get('parallel.fanned_out', 0))} "
+        f"simulated_inline={int(counters.get('runner.cache_misses', 0))} "
+        f"memory_hits={int(counters.get('runner.cache_hits', 0))} "
+        f"disk_hits={int(counters.get('runner.disk_hits', 0))}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_cache(args, out) -> int:
+    from repro.harness.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}", file=out)
+        return 0
+    stats = store.stats()
+    print(
+        format_table(
+            ["field", "value"],
+            [
+                ("root", stats.root),
+                ("entries", stats.entries),
+                ("total_bytes", stats.total_bytes),
+            ],
+            title="persistent result store",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    from repro.harness.bench import run_bench, write_report
+
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 2
+    report = run_bench(repeat=args.repeat, seed=args.seed)
+    path = write_report(report, args.output)
+    rows = [
+        (
+            row["pair"],
+            row["seconds"],
+            row.get("reference_seconds", "-"),
+            row.get("speedup", "-"),
+            {True: "yes", False: "NO"}.get(row.get("makespan_identical"), "-"),
+        )
+        for row in report["pairs"]
+    ]
+    print(
+        format_table(
+            ["pair", "seconds", "reference_s", "speedup", "makespan identical"],
+            rows,
+            title=f"engine benchmark (best of {report['repeat']})",
+        ),
+        file=out,
+    )
+    print(f"wrote {path}", file=sys.stderr)
+    drifted = [
+        row["pair"]
+        for row in report["pairs"]
+        if row.get("makespan_identical") is False
+    ]
+    if drifted:
+        print(
+            f"error: makespan drift vs. reference on: {', '.join(drifted)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_plot(args, out) -> int:
     from repro.harness.plotting import timeline
 
@@ -316,6 +471,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_sweep(args, out)
         if args.command == "experiment":
             return cmd_experiment(args, out)
+        if args.command == "suite":
+            return cmd_suite(args, out)
+        if args.command == "cache":
+            return cmd_cache(args, out)
+        if args.command == "bench":
+            return cmd_bench(args, out)
         if args.command == "plot":
             return cmd_plot(args, out)
         raise AssertionError(f"unhandled command {args.command}")

@@ -1,0 +1,155 @@
+"""Declared run-sets (plans) for every experiment, for parallel fan-out.
+
+Each experiment module's ``run`` discovers its simulations imperatively,
+one ``runner.run`` at a time — fine serially, but a parallel harness needs
+the *whole* run-set up front.  This module mirrors each experiment's loop
+structure as a pure function ``plan(seed) -> List[RunConfig]`` so
+``repro suite --jobs N`` can fan the union out across cores, after which
+the experiments themselves execute against a fully warm cache.
+
+Keep these in sync with the experiment modules: a plan that under-declares
+still produces correct results (the missing runs simulate serially), it
+just loses parallelism.  ``tests/test_plans.py`` pins the invariant the
+other way — after ``run_many`` on an experiment's plan, running the
+experiment must add zero cache misses.
+
+Offline-Search appears here as plain ``scheme="offline"`` entries; the
+parallel harness expands them into the defining threshold sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.common import (
+    DEEP_DIVE_BENCHMARK,
+    FIG12_BENCHMARKS,
+    FIG21_PAIRS,
+)
+from repro.experiments.fig07_cta_size import CTA_SIZES
+from repro.harness.runner import PER_CHILD, PER_PARENT_CTA, RunConfig
+from repro.workloads import TABLE1_NAMES
+
+
+def _per_benchmark(schemes: Sequence[str], seed: int) -> List[RunConfig]:
+    return [
+        RunConfig(benchmark=name, scheme=scheme, seed=seed)
+        for name in TABLE1_NAMES
+        for scheme in schemes
+    ]
+
+
+def plan_none(seed: int = 1) -> List[RunConfig]:
+    """Experiments that derive from static inputs run no simulations."""
+    return []
+
+
+def plan_fig05(seed: int = 1) -> List[RunConfig]:
+    # Threshold sweep of every benchmark == the offline expansion.
+    return _per_benchmark(["offline"], seed)
+
+
+def plan_fig06(seed: int = 1) -> List[RunConfig]:
+    return [RunConfig(benchmark=DEEP_DIVE_BENCHMARK, scheme="baseline-dp", seed=seed)]
+
+
+def plan_fig07(seed: int = 1) -> List[RunConfig]:
+    return [
+        RunConfig(benchmark=name, scheme="baseline-dp", seed=seed, cta_threads=cta)
+        for name in TABLE1_NAMES
+        for cta in CTA_SIZES
+    ]
+
+
+def plan_fig08(seed: int = 1) -> List[RunConfig]:
+    return [
+        RunConfig(benchmark=name, scheme="baseline-dp", seed=seed, stream_policy=policy)
+        for name in TABLE1_NAMES
+        for policy in (PER_CHILD, PER_PARENT_CTA)
+    ]
+
+
+def plan_fig12(seed: int = 1) -> List[RunConfig]:
+    return [
+        RunConfig(benchmark=name, scheme="baseline-dp", seed=seed)
+        for name in FIG12_BENCHMARKS
+    ]
+
+
+def plan_fig15(seed: int = 1) -> List[RunConfig]:
+    return _per_benchmark(["flat", "baseline-dp", "offline", "spawn"], seed)
+
+
+def plan_fig16(seed: int = 1) -> List[RunConfig]:
+    return _per_benchmark(["baseline-dp", "offline", "spawn"], seed)
+
+
+plan_fig17 = plan_fig16
+plan_fig18 = plan_fig16
+
+
+def plan_fig19(seed: int = 1) -> List[RunConfig]:
+    return [
+        RunConfig(benchmark=DEEP_DIVE_BENCHMARK, scheme=scheme, seed=seed)
+        for scheme in ("baseline-dp", "spawn")
+    ]
+
+
+def plan_fig20(seed: int = 1) -> List[RunConfig]:
+    return [
+        RunConfig(benchmark=DEEP_DIVE_BENCHMARK, scheme=scheme, seed=seed)
+        for scheme in ("baseline-dp", "offline", "spawn")
+    ]
+
+
+def plan_fig21(seed: int = 1) -> List[RunConfig]:
+    return [
+        RunConfig(benchmark=name, scheme=scheme, seed=seed)
+        for _app, name in FIG21_PAIRS
+        for scheme in ("flat", "spawn", "dtbl")
+    ]
+
+
+#: Experiment id -> plan, in paper order (ids match ``ALL_EXPERIMENTS``).
+PLANS: Dict[str, Callable[[int], List[RunConfig]]] = {
+    "table1": plan_none,
+    "table2": plan_none,
+    "fig01": plan_none,
+    "fig05": plan_fig05,
+    "fig06": plan_fig06,
+    "fig07": plan_fig07,
+    "fig08": plan_fig08,
+    "fig12": plan_fig12,
+    "fig15": plan_fig15,
+    "fig16": plan_fig16,
+    "fig17": plan_fig17,
+    "fig18": plan_fig18,
+    "fig19": plan_fig19,
+    "fig20": plan_fig20,
+    "fig21": plan_fig21,
+}
+
+
+def suite_plan(seed: int = 1, experiments: Sequence[str] = ()) -> List[RunConfig]:
+    """Union run-set for the requested experiments (default: all of them).
+
+    Deduplicated on :meth:`RunConfig.key` preserving first-seen order, so
+    the shared runs (fig15/16/17/18 reuse the same trio per benchmark)
+    are declared once.
+    """
+    names = list(experiments) or list(PLANS)
+    plan: List[RunConfig] = []
+    seen: set = set()
+    for name in names:
+        try:
+            entry = PLANS[name]
+        except KeyError:
+            raise KeyError(
+                f"no plan for experiment {name!r}; known: {', '.join(PLANS)}"
+            ) from None
+        for config in entry(seed):
+            key = config.key()
+            if key not in seen:
+                seen.add(key)
+                plan.append(config)
+    return plan

@@ -18,25 +18,45 @@ from repro.harness.export import (
     result_to_dict,
     result_to_json,
 )
+from repro.harness.bench import BENCH_PAIRS, run_bench, write_report
+from repro.harness.parallel import ParallelRunner, default_jobs
 from repro.harness.plotting import bar_chart, sparkline, timeline
-from repro.harness.replication import ReplicationResult, SchemeStats, replicate
-from repro.harness.sweep import SweepPoint, SweepResult, offline_search, threshold_sweep
+from repro.harness.replication import (
+    ReplicationResult,
+    SchemeStats,
+    replicate,
+    replication_plan,
+)
+from repro.harness.store import ResultStore, StoreStats, default_cache_dir
+from repro.harness.sweep import (
+    SweepPoint,
+    SweepResult,
+    offline_search,
+    sweep_plan,
+    threshold_sweep,
+)
 
 __all__ = [
     "BASELINE_DP",
+    "BENCH_PAIRS",
     "DP_SCHEMES",
     "DTBL",
     "FLAT",
     "OFFLINE",
     "SPAWN",
+    "ParallelRunner",
+    "ResultStore",
     "RunConfig",
     "Runner",
     "SchemeSpec",
+    "StoreStats",
     "SweepPoint",
     "SweepResult",
     "ReplicationResult",
     "SchemeStats",
     "bar_chart",
+    "default_cache_dir",
+    "default_jobs",
     "experiment_to_csv",
     "experiment_to_json",
     "geometric_mean",
@@ -44,9 +64,13 @@ __all__ = [
     "offline_search",
     "parse_scheme",
     "replicate",
+    "replication_plan",
     "result_to_dict",
     "result_to_json",
+    "run_bench",
     "sparkline",
+    "sweep_plan",
     "threshold_sweep",
     "timeline",
+    "write_report",
 ]

@@ -1,0 +1,178 @@
+"""Parallel experiment fan-out over a process pool.
+
+The simulator is single-threaded pure Python, so the only way to use a
+multi-core machine for the evaluation suite is to run *different*
+simulations in different processes.  This module adds a plan/execute
+split on top of :class:`~repro.harness.runner.Runner`:
+
+1. **Plan.**  Callers declare the full run-set up front as a list of
+   :class:`RunConfig` (experiment modules expose these via
+   :mod:`repro.experiments.plans`).  ``offline`` entries are expanded into
+   the threshold sweep that defines them, so every scheme in
+   ``DP_SCHEMES`` — including Offline-Search — can be fanned out.
+2. **Execute.**  Unique, uncached configs are shipped to a
+   ``ProcessPoolExecutor``; each worker simulates independently and
+   returns a JSON payload (:meth:`SimResult.to_dict`).  Workers never
+   touch the disk store — the parent merges every payload back into the
+   shared memory cache *and* the persistent store, keeping writes
+   single-producer per process tree.
+3. **Resolve.**  Results are returned in input order via the now-warm
+   runner, so ``run_many`` output is bit-identical to running the same
+   configs serially (simulations are deterministic and workers use the
+   same GPU config and event budget as the parent).
+
+Determinism note: worker-process results are merged in *input order*, not
+completion order, so scheduling jitter in the pool cannot reorder
+anything observable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HarnessError
+from repro.harness import schemes as sch
+from repro.harness.runner import RunConfig, Runner
+from repro.obs.profile import REGISTRY
+from repro.sim.config import GPUConfig
+from repro.sim.engine import SimResult
+from repro.workloads.base import get_benchmark
+
+
+def default_jobs() -> int:
+    """Default worker count: the machine's cores, at least 1."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _simulate_payload(task: Tuple[RunConfig, GPUConfig, int]) -> Dict:
+    """Worker entry point: simulate one config, return a JSON payload.
+
+    Module-level so it pickles under every start method.  The worker uses
+    a fresh memory-only runner — persistence is the parent's job.
+    """
+    run_config, gpu_config, max_events = task
+    runner = Runner(gpu_config, max_events=max_events)
+    return runner.run(run_config).to_dict()
+
+
+class ParallelRunner:
+    """Fans a declared run-set out across worker processes.
+
+    Wraps (and shares caches with) a :class:`Runner`; after ``run_many``
+    the wrapped runner answers every planned config from cache, so
+    experiment modules can keep their serial ``runner.run`` code and
+    still benefit.
+    """
+
+    def __init__(self, runner: Optional[Runner] = None, *, jobs: Optional[int] = None):
+        self.runner = runner if runner is not None else Runner()
+        self.jobs = jobs if jobs is not None else default_jobs()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def expand(self, configs: Sequence[RunConfig]) -> List[RunConfig]:
+        """Concrete, deduplicated work-set for ``configs`` (input order).
+
+        ``offline`` is not directly runnable — it is *defined* as the best
+        static threshold found by sweeping — so an offline entry expands
+        into its benchmark's flat run plus every ``threshold:<T>`` in the
+        sweep list (matching :func:`repro.harness.sweep.offline_search`).
+        """
+        expanded: List[RunConfig] = []
+        seen: set = set()
+
+        def add(config: RunConfig) -> None:
+            key = config.key()
+            if key not in seen:
+                seen.add(key)
+                expanded.append(config)
+
+        for config in configs:
+            spec = sch.parse_scheme(config.scheme)
+            if spec.name == sch.OFFLINE:
+                for concrete in self._offline_expansion(config):
+                    add(concrete)
+            else:
+                add(config)
+        return expanded
+
+    @staticmethod
+    def _offline_expansion(config: RunConfig) -> List[RunConfig]:
+        benchmark = get_benchmark(config.benchmark)
+        variants = [sch.FLAT]
+        variants.extend(
+            f"threshold:{threshold}" for threshold in benchmark.sweep_thresholds
+        )
+        return [
+            RunConfig(
+                benchmark=config.benchmark,
+                scheme=scheme,
+                seed=config.seed,
+                cta_threads=config.cta_threads,
+                stream_policy=config.stream_policy,
+                trace_interval=config.trace_interval,
+            )
+            for scheme in variants
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_many(
+        self, configs: Sequence[RunConfig], *, jobs: Optional[int] = None
+    ) -> List[SimResult]:
+        """Run every config (fanning misses out) and return results in order."""
+        configs = list(configs)
+        if not configs:
+            return []
+        jobs = jobs if jobs is not None else self.jobs
+        if jobs < 1:
+            raise HarnessError(f"jobs must be >= 1, got {jobs}")
+        work = [
+            config
+            for config in self.expand(configs)
+            if self.runner.cached(config) is None
+        ]
+        if work:
+            self._execute(work, jobs)
+        return [self._resolve(config) for config in configs]
+
+    def _execute(self, work: List[RunConfig], jobs: int) -> None:
+        runner = self.runner
+        REGISTRY.count("parallel.fanned_out", len(work))
+        if jobs == 1 or len(work) == 1:
+            # Not worth a pool; run in-process through the shared runner.
+            for config in work:
+                runner.run(config)
+            return
+        tasks = [(config, runner.config, runner.max_events) for config in work]
+        workers = min(jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = pool.map(_simulate_payload, tasks, chunksize=1)
+            for config, payload in zip(work, payloads):
+                runner.cache_result(config, SimResult.from_dict(payload))
+
+    def _resolve(self, config: RunConfig) -> SimResult:
+        spec = sch.parse_scheme(config.scheme)
+        if spec.name != sch.OFFLINE:
+            return self.runner.run(config)  # warm: a cache hit
+        # Re-derive Offline-Search from the (now cached) sweep runs, with
+        # the same selection rule as harness.sweep.offline_search: best
+        # speedup over flat, first threshold winning ties.
+        variants = self._offline_expansion(config)
+        flat = self.runner.run(variants[0])
+        best: Optional[Tuple[float, SimResult]] = None
+        for variant in variants[1:]:
+            result = self.runner.run(variant)
+            if result.makespan <= 0:
+                raise HarnessError(
+                    f"{config.benchmark}/{variant.scheme}: zero makespan"
+                )
+            speedup = flat.makespan / result.makespan
+            if best is None or speedup > best[0]:
+                best = (speedup, result)
+        assert best is not None  # sweep lists are never empty
+        return best[1]

@@ -1,9 +1,13 @@
-"""Benchmark runner with per-process result caching.
+"""Benchmark runner with two-level result caching.
 
 Most experiments share runs (the Fig. 15 speedups, Fig. 16 occupancy,
 Fig. 17 L2 rates, and Fig. 18 kernel counts all come from the same three
-runs per benchmark), so results are memoized on
-``(benchmark, scheme, seed, cta_threads, stream_policy)``.
+runs per benchmark), so results are memoized on the full
+:meth:`RunConfig.key` tuple.  Lookups go **memory -> disk -> simulate**:
+the in-process dict answers repeats within one process, and an optional
+:class:`~repro.harness.store.ResultStore` persists results across
+processes and CI jobs (pass ``store=`` or ``cache_dir=``; the default is
+no disk cache, preserving the historical behavior).
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import HarnessError
 from repro.harness import schemes as sch
+from repro.harness.store import ResultStore
 from repro.obs.profile import REGISTRY
 from repro.obs.tracer import Tracer
 from repro.runtime.streams import PerChildStream, PerParentCTAStream
@@ -37,22 +42,40 @@ class RunConfig:
     trace_interval: float = 1000.0
 
     def key(self) -> Tuple:
+        """Cache identity: every field that changes the simulation output.
+
+        ``trace_interval`` belongs here — it changes the sampled timeline
+        (and therefore the stored stats), so two runs differing only in
+        trace interval must not share a cache entry.
+        """
         return (
             self.benchmark,
             self.scheme,
             self.seed,
             self.cta_threads,
             self.stream_policy,
+            self.trace_interval,
         )
 
 
 class Runner:
     """Runs benchmarks under schemes against one GPU configuration."""
 
-    def __init__(self, config: Optional[GPUConfig] = None, *, max_events: int = 50_000_000):
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        *,
+        max_events: int = 50_000_000,
+        store: Optional[ResultStore] = None,
+        cache_dir=None,
+    ):
         self.config = config or GPUConfig()
         self.max_events = max_events
         self._cache: Dict[Tuple, SimResult] = {}
+        if store is None and cache_dir is not None:
+            store = ResultStore(cache_dir)
+        #: Optional persistent layer; None keeps the runner memory-only.
+        self.store = store
 
     def run(
         self, run_config: RunConfig, *, tracer: Optional[Tracer] = None
@@ -70,6 +93,14 @@ class Runner:
             if cached is not None:
                 REGISTRY.count("runner.cache_hits")
                 return cached
+            if self.store is not None:
+                disk_key = self.store.key_for(run_config, self.config, self.max_events)
+                stored = self.store.load(disk_key)
+                if stored is not None:
+                    REGISTRY.count("runner.disk_hits")
+                    self._cache[key] = stored
+                    return stored
+                REGISTRY.count("runner.disk_misses")
         REGISTRY.count("runner.cache_misses")
         benchmark = get_benchmark(run_config.benchmark)
         spec = sch.parse_scheme(run_config.scheme)
@@ -95,8 +126,37 @@ class Runner:
             f"sim.run/{run_config.benchmark}/{run_config.scheme}"
         ):
             result = sim.run(app)
-        self._cache[key] = result
+        self.cache_result(run_config, result)
         return result
+
+    def cached(self, run_config: RunConfig) -> Optional[SimResult]:
+        """Cached result (memory, then disk) without simulating, or None.
+
+        A disk hit is promoted into the memory cache.  No profiling
+        counters fire — this is the parallel harness's pre-filter, not a
+        run.
+        """
+        cached = self._cache.get(run_config.key())
+        if cached is not None:
+            return cached
+        if self.store is not None:
+            disk_key = self.store.key_for(run_config, self.config, self.max_events)
+            stored = self.store.load(disk_key)
+            if stored is not None:
+                self._cache[run_config.key()] = stored
+                return stored
+        return None
+
+    def cache_result(self, run_config: RunConfig, result: SimResult) -> None:
+        """Install ``result`` in the memory cache and the disk store.
+
+        Used after simulating locally and by the parallel harness to merge
+        worker results back into the shared caches.
+        """
+        self._cache[run_config.key()] = result
+        if self.store is not None:
+            disk_key = self.store.key_for(run_config, self.config, self.max_events)
+            self.store.save(disk_key, result)
 
     def run_simple(self, benchmark: str, scheme: str, **kwargs) -> SimResult:
         return self.run(RunConfig(benchmark=benchmark, scheme=scheme, **kwargs))

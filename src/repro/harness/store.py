@@ -1,0 +1,181 @@
+"""Persistent, content-addressed result store under ``.repro-cache/``.
+
+The in-process :class:`~repro.harness.runner.Runner` cache dies with the
+interpreter, so every CLI invocation and CI job used to re-simulate runs it
+had already done.  This module gives results a durable home:
+
+* **Content-addressed keys.**  An entry's filename is the SHA-256 of a
+  canonical JSON document covering *everything that determines the result*:
+  the cache schema version, every :class:`RunConfig` field (including
+  ``trace_interval``), the full :class:`~repro.sim.config.GPUConfig`
+  (nested dataclasses and all), and the event budget.  Change any input and
+  the key changes; bump :data:`SCHEMA_VERSION` and every old entry becomes
+  unreachable (stale entries are never *read wrong*, only orphaned).
+* **Atomic writes.**  Entries are written to a temp file in the same
+  directory and ``os.replace``-d into place, so concurrent workers (the
+  parallel harness) and overlapping CI jobs never observe torn JSON.
+* **Corruption tolerance.**  An unreadable or schema-mismatched entry is
+  treated as a miss and deleted; the run is simply redone.
+
+Layout: ``<root>/<first two key hex chars>/<key>.json`` — two-level fanout
+keeps directory listings short even for thousands of entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.sim.config import GPUConfig
+from repro.sim.engine import SimResult
+
+#: Bump whenever the serialized payload or the simulation semantics change
+#: in a way that invalidates stored results.  The version participates in
+#: the hashed key, so a bump orphans (rather than misreads) old entries.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default on-disk location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of the on-disk cache, for ``repro cache stats``."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+
+class ResultStore:
+    """Content-addressed on-disk cache of :class:`SimResult` payloads."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(run_config, gpu_config: GPUConfig, max_events: int) -> str:
+        """SHA-256 hex key covering every input that shapes the result."""
+        document = {
+            "schema": SCHEMA_VERSION,
+            "run": {
+                "benchmark": run_config.benchmark,
+                "scheme": run_config.scheme,
+                "seed": run_config.seed,
+                "cta_threads": run_config.cta_threads,
+                "stream_policy": run_config.stream_policy,
+                "trace_interval": run_config.trace_interval,
+            },
+            "gpu": dataclasses.asdict(gpu_config),
+            "max_events": max_events,
+        }
+        canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Load / save
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[SimResult]:
+        """The stored result for ``key``, or None (miss / corrupt entry)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Torn or corrupt entry (e.g. a crashed writer on a filesystem
+            # without atomic replace): drop it and re-simulate.
+            self._discard(path)
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            self._discard(path)
+            return None
+        try:
+            return SimResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            self._discard(path)
+            return None
+
+    def save(self, key: str, result: SimResult) -> Path:
+        """Atomically persist ``result`` under ``key``; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": SCHEMA_VERSION, "result": result.to_dict()}
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._discard(Path(tmp_name))
+            raise
+        return path
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _entries(self):
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path
+
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return StoreStats(root=str(self.root), entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            self._discard(path)
+            removed += 1
+        # Sweep now-empty fanout directories (best effort).
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if child.is_dir():
+                    try:
+                        child.rmdir()
+                    except OSError:
+                        pass
+        return removed

@@ -37,16 +37,52 @@ class SweepResult:
         return max(self.points, key=lambda p: p.speedup_over_flat)
 
 
+def sweep_plan(
+    benchmark_name: str,
+    *,
+    seed: int = 1,
+    thresholds: Optional[Tuple[int, ...]] = None,
+) -> List[RunConfig]:
+    """The run-set a threshold sweep needs (flat + every threshold).
+
+    Feed this to :meth:`repro.harness.parallel.ParallelRunner.run_many`
+    to warm the cache before :func:`threshold_sweep` /
+    :func:`offline_search`, which then complete without simulating.
+    """
+    benchmark = get_benchmark(benchmark_name)
+    sweep = thresholds if thresholds is not None else benchmark.sweep_thresholds
+    plan = [RunConfig(benchmark=benchmark_name, scheme=sch.FLAT, seed=seed)]
+    plan.extend(
+        RunConfig(
+            benchmark=benchmark_name, scheme=f"threshold:{threshold}", seed=seed
+        )
+        for threshold in sweep
+    )
+    return plan
+
+
 def threshold_sweep(
     runner: Runner,
     benchmark_name: str,
     *,
     seed: int = 1,
     thresholds: Optional[Tuple[int, ...]] = None,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run the benchmark at every static THRESHOLD (plus the flat bound)."""
+    """Run the benchmark at every static THRESHOLD (plus the flat bound).
+
+    ``jobs > 1`` fans the sweep's runs out across worker processes first;
+    results are identical to the serial sweep (simulations are
+    deterministic), just wall-clock faster.
+    """
     benchmark = get_benchmark(benchmark_name)
     sweep = thresholds if thresholds is not None else benchmark.sweep_thresholds
+    if jobs > 1:
+        from repro.harness.parallel import ParallelRunner
+
+        ParallelRunner(runner).run_many(
+            sweep_plan(benchmark_name, seed=seed, thresholds=sweep), jobs=jobs
+        )
     flat = runner.run(RunConfig(benchmark=benchmark_name, scheme=sch.FLAT, seed=seed))
     points: List[SweepPoint] = []
     for threshold in sweep:
@@ -72,7 +108,7 @@ def _point(threshold: int, flat: SimResult, result: SimResult) -> SweepPoint:
 
 
 def offline_search(
-    runner: Runner, benchmark_name: str, *, seed: int = 1
+    runner: Runner, benchmark_name: str, *, seed: int = 1, jobs: int = 1
 ) -> Tuple[int, SimResult]:
     """Best static threshold and its run (the paper's Offline-Search).
 
@@ -80,7 +116,7 @@ def offline_search(
     best *DP* workload distribution; a benchmark that prefers ~0% offload
     expresses that through a large THRESHOLD.
     """
-    sweep = threshold_sweep(runner, benchmark_name, seed=seed)
+    sweep = threshold_sweep(runner, benchmark_name, seed=seed, jobs=jobs)
     best = sweep.best()
     result = runner.run(
         RunConfig(

@@ -78,6 +78,23 @@ class SimResult:
     def summary(self) -> Dict[str, float]:
         return self.stats.summary()
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable payload (see :meth:`from_dict`)."""
+        return {
+            "app_name": self.app_name,
+            "policy_name": self.policy_name,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimResult":
+        """Rebuild a result saved with :meth:`to_dict` (disk cache path)."""
+        return cls(
+            app_name=payload["app_name"],
+            policy_name=payload["policy_name"],
+            stats=SimStats.from_dict(payload["stats"]),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SimResult({self.app_name!r}, policy={self.policy_name!r}, "
@@ -180,6 +197,7 @@ class GPUSimulator:
         self._last_completion = 0.0
         self._res_parent_ctas = 0
         self._res_child_ctas = 0
+        self._res_total_ctas = 0  # resident CTAs GPU-wide (free-slot math)
         self._res_warps = 0
         self._res_regs = 0
         self._res_shmem = 0
@@ -260,8 +278,9 @@ class GPUSimulator:
             self._dispatching = False
 
     def _dispatch_round(self) -> bool:
-        max_ctas = self.config.max_ctas_per_smx
-        free_slots = sum(max_ctas - len(s.resident) for s in self.smxs)
+        free_slots = (
+            self.config.max_ctas_per_smx * len(self.smxs) - self._res_total_ctas
+        )
         if free_slots == 0:
             return False
         placed = False
@@ -424,6 +443,7 @@ class GPUSimulator:
             self._res_child_ctas += 1
         else:
             self._res_parent_ctas += 1
+        self._res_total_ctas += 1
         self._res_warps += cta.num_warps
         self._res_regs += cta.regs
         self._res_shmem += cta.shmem
@@ -634,6 +654,7 @@ class GPUSimulator:
             self._res_child_ctas -= 1
         else:
             self._res_parent_ctas -= 1
+        self._res_total_ctas -= 1
         self._res_warps -= cta.num_warps
         self._res_regs -= cta.regs
         self._res_shmem -= cta.shmem

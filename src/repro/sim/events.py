@@ -5,30 +5,47 @@ events and O(1) lazy cancellation.  The simulator advances a cycle-valued
 clock from event to event; there is no per-cycle stepping anywhere in the
 system, which is what keeps a Python reproduction of a multi-million-cycle
 GPU run tractable.
+
+Implementation notes (hot path):
+
+* Heap entries are ``(time, seq, event)`` tuples so ordering is resolved by
+  C-level tuple comparison instead of a Python ``__lt__`` call per sift.
+* Cancellation is lazy (the entry stays in the heap, marked dead), but the
+  queue keeps a live-event counter so ``len(queue)`` is O(1), and compacts
+  the heap whenever cancelled entries outnumber live ones — long runs that
+  cancel and reschedule per-SMX timers millions of times cannot bloat the
+  heap beyond 2x its live size.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+#: Below this heap size compaction is not worth the rebuild.
+_COMPACT_MIN = 64
 
 
 class Event:
     """A scheduled callback.  ``cancel()`` marks it dead in O(1)."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -42,12 +59,13 @@ class EventQueue:
     """Min-heap of :class:`Event` ordered by (time, insertion order)."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._next_seq = 0
+        self._cancelled = 0  # dead entries still sitting in the heap
         self.now: float = 0.0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
 
     def schedule(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
@@ -55,8 +73,11 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        event = Event(time, next(self._counter), callback)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback)
+        event._queue = self
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
@@ -65,32 +86,47 @@ class EventQueue:
             raise SimulationError(f"negative delay {delay}")
         return self.schedule(self.now + delay, callback)
 
+    def _note_cancelled(self) -> None:
+        """A scheduled event was cancelled; compact if mostly dead."""
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN and self._cancelled * 2 > len(heap):
+            live = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(live)
+            self._heap = live
+            self._cancelled = 0
+
     def pop(self) -> Optional[Event]:
         """Pop the next live event, advancing the clock; None if drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self.now = event.time
+            self.now = time
             return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][0] if heap else None
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain the queue, running callbacks; returns events executed."""
         executed = 0
+        pop = self.pop
         while True:
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"event budget exhausted after {executed} events "
                     "(likely a livelock in the simulated system)"
                 )
-            event = self.pop()
+            event = pop()
             if event is None:
                 return executed
             event.callback()

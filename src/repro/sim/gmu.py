@@ -117,20 +117,26 @@ class GMU:
 
         The cursor persists across calls so successive dispatch rounds
         rotate fairly over streams, like the RR CTA scheduler in Table II.
+        This is the dispatch loop's inner scan, so the head checks are
+        plain attribute reads (no property dispatch).
         """
         bound = self._bound_list
         if not bound:
             return
         n = len(bound)
         start = self._rr_cursor % n
+        streams = self._streams
+        executing = KernelState.EXECUTING
         for offset in range(n):
-            swq = bound[(start + offset) % n]
-            queue = self._streams.get(swq)
+            index = start + offset
+            if index >= n:
+                index -= n
+            queue = streams.get(bound[index])
             if not queue:
                 continue
             head = queue[0]
-            if head.state is KernelState.EXECUTING and head.has_undispatched_ctas:
-                self._rr_cursor = (start + offset + 1) % n
+            if head.state is executing and head.next_cta_index < head.num_ctas:
+                self._rr_cursor = (index + 1) % n
                 yield head
 
     # ------------------------------------------------------------------

@@ -18,7 +18,6 @@ lengthens a real parent thread.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import SimulationError
@@ -126,14 +125,24 @@ class KernelInstance:
         )
 
 
-@dataclass
 class PendingDecision:
     """A launch call that fires when the CTA's progress crosses a point."""
 
-    at_consumed: float
-    warp: int
-    tid: int  # global thread index within the kernel grid
-    request: ChildRequest
+    __slots__ = ("at_consumed", "warp", "tid", "request")
+
+    def __init__(
+        self, at_consumed: float, warp: int, tid: int, request: ChildRequest
+    ):
+        self.at_consumed = at_consumed
+        self.warp = warp
+        self.tid = tid  # global thread index within the kernel grid
+        self.request = request
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PendingDecision(at_consumed={self.at_consumed}, "
+            f"warp={self.warp}, tid={self.tid})"
+        )
 
 
 class CTAInstance:
@@ -157,6 +166,7 @@ class CTAInstance:
         "outstanding_children",
         "decisions",
         "next_decision",
+        "next_target",
         "total_work",
         "warp_base_total",
         "warp_base_issue",
@@ -195,11 +205,14 @@ class CTAInstance:
         # Decision-time extensions: serial fallbacks within one thread
         # accumulate (the thread loops), but across threads of a warp they
         # overlap in SIMT lockstep, so a warp's extension is the MAX over
-        # its threads.  warp_total = warp_base_total + that max.
-        self.warp_base_total = list(warp_total)
-        self.warp_base_issue = list(warp_issue)
-        self._thread_extra: dict = {}  # tid -> [total, issue]
-        self._warp_extra: dict = {}  # warp -> [max total, issue of max]
+        # its threads.  warp_total = warp_base_total + that max.  The base
+        # snapshots and per-thread maps are materialized lazily on the first
+        # ``extend_thread`` call — most CTAs (all pure children) are never
+        # extended, and until then warp_total is the base.
+        self.warp_base_total = warp_total
+        self.warp_base_issue = warp_issue
+        self._thread_extra: Optional[dict] = None  # tid -> [total, issue]
+        self._warp_extra: Optional[dict] = None  # warp -> [max total, issue]
         #: Inter-warp latency hiding: only this fraction of a warp's issue
         #: occupancy contends for SMX issue slots (stalled warps yield).
         self.demand_scale = demand_scale
@@ -211,13 +224,20 @@ class CTAInstance:
         self.outstanding_children = 0
         self.decisions = sorted(decisions or [], key=lambda d: d.at_consumed)
         self.next_decision = 0
-        #: Critical-path length in cycles; maintained by ``extend_warp``.
+        #: Critical-path length in cycles; maintained by ``extend_thread``.
         self.total_work = max(warp_total)
         for d in self.decisions:
             if d.at_consumed > self.total_work + EPSILON:
                 raise SimulationError(
                     "decision point beyond the CTA's base critical path"
                 )
+        #: The progress point of the CTA's next event: its first unfired
+        #: decision if any remain, else the critical-path end.  Maintained
+        #: by ``pop_fired_decisions`` / ``extend_thread`` so the SMX event
+        #: horizon is a plain attribute read per resident CTA.
+        self.next_target = (
+            self.decisions[0].at_consumed if self.decisions else self.total_work
+        )
 
     # -- progress geometry ------------------------------------------------
     @property
@@ -245,6 +265,12 @@ class CTAInstance:
         """
         if total_cycles < 0 or issue_cycles < 0:
             raise SimulationError("cannot extend a thread by negative work")
+        if self._thread_extra is None:
+            # First extension: snapshot the (still pristine) base timelines.
+            self._thread_extra = {}
+            self._warp_extra = {}
+            self.warp_base_total = list(self.warp_total)
+            self.warp_base_issue = list(self.warp_issue)
         extra = self._thread_extra.setdefault(tid, [0.0, 0.0])
         extra[0] += total_cycles
         extra[1] += issue_cycles
@@ -256,6 +282,8 @@ class CTAInstance:
             self.warp_issue[warp] = self.warp_base_issue[warp] + warp_extra[1]
             if self.warp_total[warp] > self.total_work:
                 self.total_work = self.warp_total[warp]
+                if self.next_decision >= len(self.decisions):
+                    self.next_target = self.total_work
 
     # -- decision iteration ------------------------------------------------
     @property
@@ -267,13 +295,22 @@ class CTAInstance:
     def pop_fired_decisions(self) -> List[PendingDecision]:
         """Decisions whose progress point has been crossed."""
         fired: List[PendingDecision] = []
-        while self.next_decision < len(self.decisions):
-            decision = self.decisions[self.next_decision]
-            if decision.at_consumed <= self.consumed + EPSILON:
+        decisions = self.decisions
+        n = len(decisions)
+        threshold = self.consumed + EPSILON
+        while self.next_decision < n:
+            decision = decisions[self.next_decision]
+            if decision.at_consumed <= threshold:
                 fired.append(decision)
                 self.next_decision += 1
             else:
                 break
+        if fired:
+            self.next_target = (
+                decisions[self.next_decision].at_consumed
+                if self.next_decision < n
+                else self.total_work
+            )
         return fired
 
     @property

@@ -18,7 +18,7 @@ factor), optionally with the bandwidth-congestion model of
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,13 +33,18 @@ Region = Tuple[int, int]
 class SetAssociativeCache:
     """LRU set-associative cache operating on line addresses."""
 
+    __slots__ = ("config", "num_sets", "associativity", "line_bytes", "_sets",
+                 "hits", "misses")
+
     def __init__(self, config: CacheConfig):
         self.config = config
         self.num_sets = config.num_sets
         self.associativity = config.associativity
         self.line_bytes = config.line_bytes
-        # Each set is an ordered list of tags, most-recently-used last.
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # Each set is an insertion-ordered dict of tags, most-recently-used
+        # last — dict lookup/delete makes every access O(1) instead of the
+        # O(associativity) list scan (this is the simulator's hottest loop).
+        self._sets: List[Dict[int, None]] = [{} for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -49,7 +54,7 @@ class SetAssociativeCache:
 
     def flush(self) -> None:
         """Invalidate all lines (counters are preserved)."""
-        self._sets = [[] for _ in range(self.num_sets)]
+        self._sets = [{} for _ in range(self.num_sets)]
 
     @property
     def accesses(self) -> int:
@@ -66,26 +71,35 @@ class SetAssociativeCache:
     def access_line(self, line: int) -> bool:
         """Access one cache line; returns True on hit."""
         ways = self._sets[line % self.num_sets]
-        try:
-            ways.remove(line)
-        except ValueError:
-            self.misses += 1
-            if len(ways) >= self.associativity:
-                ways.pop(0)
-            ways.append(line)
-            return False
-        self.hits += 1
-        ways.append(line)
-        return True
+        if ways.pop(line, None) is not None:
+            self.hits += 1
+            ways[line] = True  # re-insert at MRU position
+            return True
+        self.misses += 1
+        if len(ways) >= self.associativity:
+            del ways[next(iter(ways))]  # evict LRU (oldest insertion)
+        ways[line] = True
+        return False
 
     def access_lines(self, lines: Iterable[int]) -> Tuple[int, int]:
         """Access a stream of lines; returns (hits, misses) for the stream."""
         hits = 0
         total = 0
+        sets = self._sets
+        num_sets = self.num_sets
+        associativity = self.associativity
         for line in lines:
             total += 1
-            if self.access_line(line):
+            ways = sets[line % num_sets]
+            if ways.pop(line, None) is not None:
                 hits += 1
+                ways[line] = True
+            else:
+                if len(ways) >= associativity:
+                    del ways[next(iter(ways))]
+                ways[line] = True
+        self.hits += hits
+        self.misses += total - hits
         return hits, total - hits
 
     def contains_line(self, line: int) -> bool:

@@ -31,6 +31,10 @@ from repro.sim.instances import EPSILON, CTAInstance
 class SMX:
     """Resource accounting plus processor-sharing progress for one SMX."""
 
+    __slots__ = ("index", "config", "capacity", "resident", "used_threads",
+                 "used_regs", "used_shmem", "used_warps", "_total_demand",
+                 "_last_update")
+
     def __init__(self, index: int, config: GPUConfig):
         self.index = index
         self.config = config
@@ -80,17 +84,21 @@ class SMX:
     # ------------------------------------------------------------------
     def advance(self, now: float) -> None:
         """Integrate progress of resident CTAs up to ``now``."""
-        dt = now - self._last_update
-        if dt < -EPSILON:
-            raise SimulationError(
-                f"SMX {self.index} asked to advance backwards "
-                f"({self._last_update} -> {now})"
-            )
-        if dt > 0 and self.resident:
-            step = self.scale * dt
+        last = self._last_update
+        if now <= last:
+            if now - last < -EPSILON:
+                raise SimulationError(
+                    f"SMX {self.index} asked to advance backwards "
+                    f"({last} -> {now})"
+                )
+            return
+        if self.resident:
+            step = self.scale * (now - last)
             for cta in self.resident:
-                cta.consumed = min(cta.consumed + step, cta.total_work)
-        self._last_update = max(self._last_update, now)
+                consumed = cta.consumed + step
+                total = cta.total_work
+                cta.consumed = consumed if consumed < total else total
+        self._last_update = now
 
     def add(self, cta: CTAInstance, now: float) -> None:
         """Place a CTA on this SMX (caller must have checked ``can_fit``)."""
@@ -139,30 +147,29 @@ class SMX:
     # Event horizon
     # ------------------------------------------------------------------
     def next_event_time(self, now: float) -> Optional[float]:
-        """Earliest completion *or* decision-point crossing, or None."""
-        if not self.resident:
+        """Earliest completion *or* decision-point crossing, or None.
+
+        All resident CTAs progress at the same rate, so the horizon is
+        ``now + min(next_target - consumed) / rate`` — one attribute-only
+        pass over the residents (``next_target`` is maintained by
+        :class:`~repro.sim.instances.CTAInstance`).
+        """
+        resident = self.resident
+        if not resident:
             return None
         self.advance(now)
-        rate = self.scale
-        horizon = None
-        for cta in self.resident:
-            target = cta.total_work
-            point = cta.next_decision_point
-            if point is not None and point < target:
-                target = point
-            dt = max(0.0, target - cta.consumed) / rate
-            when = now + dt
-            if horizon is None or when < horizon:
-                horizon = when
-        return horizon
+        slack = min(c.next_target - c.consumed for c in resident)
+        if slack <= 0.0:
+            return now
+        return now + slack / self.scale
 
     def ctas_with_fired_decisions(self) -> List[CTAInstance]:
         """Resident CTAs whose next decision point has been crossed."""
         return [
             c
             for c in self.resident
-            if c.next_decision_point is not None
-            and c.next_decision_point <= c.consumed + EPSILON
+            if c.next_decision < len(c.decisions)
+            and c.next_target <= c.consumed + EPSILON
         ]
 
     def pop_finished(self, now: float) -> List[CTAInstance]:

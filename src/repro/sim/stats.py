@@ -9,7 +9,7 @@ distributions (Fig. 12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
 
@@ -200,6 +200,74 @@ class SimStats:
     def launch_cdf(self) -> List[tuple]:
         """(time, cumulative launched child kernels) points (Fig. 20)."""
         return [(t, i + 1) for i, t in enumerate(sorted(self.launch_times))]
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent result store / parallel harness)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of a *finalized* stats object.
+
+        Round-trips every field the experiments and derived metrics read,
+        including the private occupancy integrals — ``from_dict`` must
+        reproduce ``summary()`` and the figure inputs bit-identically.
+        """
+        return {
+            "trace_interval": self.trace_interval,
+            "makespan": self.makespan,
+            "child_kernels_launched": self.child_kernels_launched,
+            "child_kernels_declined": self.child_kernels_declined,
+            "child_kernels_reused": self.child_kernels_reused,
+            "child_ctas_launched": self.child_ctas_launched,
+            "launch_times": list(self.launch_times),
+            "items_in_parent": self.items_in_parent,
+            "items_in_child": self.items_in_child,
+            "kernels": [asdict(rec) for rec in self.kernels.values()],
+            "child_cta_exec_times": list(self.child_cta_exec_times),
+            "warp_cycles": self._warp_cycles,
+            "reg_cycles": self._reg_cycles,
+            "shmem_cycles": self._shmem_cycles,
+            "last_state_time": self._last_state_time,
+            "capacity": [
+                self.total_warp_capacity,
+                self.total_reg_capacity,
+                self.total_shmem_capacity,
+            ],
+            "trace": [
+                [s.time, s.parent_ctas, s.child_ctas, s.utilization]
+                for s in self.trace
+            ],
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "peak_ccqs_depth": self.peak_ccqs_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimStats":
+        """Rebuild a finalized stats object saved with :meth:`to_dict`."""
+        stats = cls(trace_interval=payload["trace_interval"])
+        stats.makespan = payload["makespan"]
+        stats.child_kernels_launched = payload["child_kernels_launched"]
+        stats.child_kernels_declined = payload["child_kernels_declined"]
+        stats.child_kernels_reused = payload["child_kernels_reused"]
+        stats.child_ctas_launched = payload["child_ctas_launched"]
+        stats.launch_times = list(payload["launch_times"])
+        stats.items_in_parent = payload["items_in_parent"]
+        stats.items_in_child = payload["items_in_child"]
+        stats.kernels = {
+            rec["kernel_id"]: KernelRecord(**rec) for rec in payload["kernels"]
+        }
+        stats.child_cta_exec_times = list(payload["child_cta_exec_times"])
+        stats._warp_cycles = payload["warp_cycles"]
+        stats._reg_cycles = payload["reg_cycles"]
+        stats._shmem_cycles = payload["shmem_cycles"]
+        stats._last_state_time = payload["last_state_time"]
+        warps, regs, shmem = payload["capacity"]
+        stats.set_capacity(warps=warps, regs=regs, shmem=shmem)
+        stats.trace = [TraceSample(*sample) for sample in payload["trace"]]
+        stats.l2_hits = payload["l2_hits"]
+        stats.l2_misses = payload["l2_misses"]
+        stats.peak_ccqs_depth = payload["peak_ccqs_depth"]
+        return stats
 
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of headline metrics, for reports and tests."""

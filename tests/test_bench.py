@@ -1,0 +1,49 @@
+"""Tests for the engine wall-clock benchmark (repro bench)."""
+
+import json
+
+from repro.harness.bench import (
+    BENCH_PAIRS,
+    REFERENCE,
+    default_output_path,
+    run_bench,
+    write_report,
+)
+
+CHEAP = (("GC-citation", "spawn"), ("BFS-graph500", "spawn"))
+
+
+class TestRunBench:
+    def test_report_shape_and_reference_join(self):
+        report = run_bench(pairs=CHEAP, repeat=1)
+        assert report["repeat"] == 1
+        assert [row["pair"] for row in report["pairs"]] == [
+            "GC-citation/spawn",
+            "BFS-graph500/spawn",
+        ]
+        for row in report["pairs"]:
+            assert row["seconds"] > 0
+            assert row["makespan"] > 0
+        unreferenced, referenced = report["pairs"]
+        assert "speedup" not in unreferenced  # no recorded baseline
+        assert referenced["reference_seconds"] == REFERENCE["BFS-graph500/spawn"]["seconds"]
+        assert referenced["speedup"] > 0
+        # The engine must still produce the reference makespan bit-for-bit.
+        assert referenced["makespan_identical"] is True
+
+    def test_default_pairs_have_references(self):
+        for name, scheme in BENCH_PAIRS:
+            assert f"{name}/{scheme}" in REFERENCE
+
+
+class TestReport:
+    def test_write_report_roundtrip(self, tmp_path):
+        report = run_bench(pairs=CHEAP[:1], repeat=1)
+        path = write_report(report, tmp_path / "BENCH_test.json")
+        assert json.loads(path.read_text()) == report
+
+    def test_default_output_path_is_dated(self):
+        import datetime
+
+        path = default_output_path(datetime.date(2026, 8, 6))
+        assert path.name == "BENCH_20260806.json"

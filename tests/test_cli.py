@@ -138,3 +138,43 @@ class TestObservabilityCommands:
     def test_audit_unknown_benchmark_fails_cleanly(self):
         code, _ = run_cli("audit", "not-a-benchmark")
         assert code == 1
+
+
+class TestSuiteCacheBench:
+    def test_suite_parser_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.jobs is None
+        assert args.experiments is None
+        assert not args.no_store
+
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.repeat == 3
+        assert args.output is None
+
+    def test_suite_rejects_unknown_experiment(self):
+        code, _ = run_cli("suite", "--experiments", "fig99", "--jobs", "1",
+                          "--no-store")
+        assert code == 2
+
+    def test_suite_rejects_bad_jobs(self):
+        code, _ = run_cli("suite", "--jobs", "0", "--no-store")
+        assert code == 2
+
+    def test_suite_subset_with_store(self, tmp_path):
+        cache = tmp_path / "cache"
+        code, text = run_cli(
+            "suite", "--experiments", "fig19", "--jobs", "1",
+            "--cache-dir", str(cache),
+        )
+        assert code == 0
+        assert "fig19" in text
+        assert cache.is_dir()  # results were persisted
+
+    def test_cache_stats_and_clear(self, tmp_path):
+        code, text = run_cli("cache", "stats", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "entries" in text
+        code, text = run_cli("cache", "clear", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "removed 0 entries" in text
