@@ -1,65 +1,54 @@
 #!/usr/bin/env python
 """Quickstart: run one benchmark under flat, Baseline-DP, and SPAWN.
 
-Builds the BFS-graph500 benchmark (Table I), simulates it on the paper's
-K20m-like GPU (Table II) under three schemes, and prints the headline
-metrics the paper's evaluation revolves around.
+Simulates the BFS-graph500 benchmark (Table I) on the paper's K20m-like
+GPU (Table II) under three schemes through the stable :mod:`repro.api`
+façade, and prints the headline metrics the paper's evaluation revolves
+around.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import GPUSimulator, SpawnPolicy, StaticThresholdPolicy
+from repro.api import Runner, simulate
 from repro.harness.report import format_table
-from repro.workloads import get_benchmark
 
 
 def main() -> None:
-    bench = get_benchmark("BFS-graph500")
-
-    rows = []
+    benchmark = "BFS-graph500"
+    runner = Runner()  # shared two-level cache across the runs below
 
     # 1. The flat (non-DP) implementation: one thread per frontier vertex,
     #    every edge traversed serially in its thread.
-    flat = GPUSimulator().run(bench.flat(seed=1))
-    rows.append(("flat", flat.makespan, 0, "-", "-"))
+    flat = simulate(benchmark, "flat", runner=runner)
+    rows = [("flat", flat.makespan, 0, "-", "-")]
 
     # 2. Baseline-DP: the unmodified DP source, launching a child kernel
     #    for every vertex above the application's native THRESHOLD.
-    base = GPUSimulator(policy=StaticThresholdPolicy(bench.default_threshold)).run(
-        bench.dp(seed=1)
-    )
-    rows.append(
-        (
-            "baseline-dp",
-            base.makespan,
-            base.stats.child_kernels_launched,
-            f"{flat.makespan / base.makespan:.2f}x",
-            f"{100 * base.stats.smx_occupancy:.1f}%",
-        )
-    )
-
     # 3. SPAWN: the paper's runtime controller (Algorithm 1) deciding each
     #    launch from the live CCQS state.
-    spawn = GPUSimulator(policy=SpawnPolicy()).run(bench.dp(seed=1))
-    rows.append(
-        (
-            "spawn",
-            spawn.makespan,
-            spawn.stats.child_kernels_launched,
-            f"{flat.makespan / spawn.makespan:.2f}x",
-            f"{100 * spawn.stats.smx_occupancy:.1f}%",
+    for scheme in ("baseline-dp", "spawn"):
+        result = simulate(benchmark, scheme, runner=runner)
+        rows.append(
+            (
+                scheme,
+                result.makespan,
+                result.stats.child_kernels_launched,
+                f"{flat.makespan / result.makespan:.2f}x",
+                f"{100 * result.stats.smx_occupancy:.1f}%",
+            )
         )
-    )
 
     print(
         format_table(
             ["scheme", "makespan (cycles)", "child kernels", "speedup vs flat", "occupancy"],
             rows,
-            title="BFS-graph500 under three schemes",
+            title=f"{benchmark} under three schemes",
             float_format="{:.0f}",
         )
     )
     print()
+    base = simulate(benchmark, "baseline-dp", runner=runner)
+    spawn = simulate(benchmark, "spawn", runner=runner)
     print(
         f"SPAWN launched {spawn.stats.child_kernels_launched} of "
         f"{spawn.stats.child_kernels_launched + spawn.stats.child_kernels_declined} "

@@ -11,8 +11,8 @@ Run:  python examples/seed_robustness.py [benchmark] [n_seeds]
 
 import sys
 
+from repro.api import replicate
 from repro.harness.plotting import bar_chart
-from repro.harness.replication import replicate
 
 
 def main(benchmark: str = "BFS-graph500", n_seeds: str = "3") -> None:

@@ -11,9 +11,8 @@ Run:  python examples/threshold_study.py [benchmark]
 
 import sys
 
+from repro.api import Runner, simulate, threshold_sweep
 from repro.harness.report import format_table
-from repro.harness.runner import RunConfig, Runner
-from repro.harness.sweep import threshold_sweep
 
 
 def main(benchmark: str = "SSSP-graph500") -> None:
@@ -39,8 +38,8 @@ def main(benchmark: str = "SSSP-graph500") -> None:
         )
     )
 
-    spawn = runner.run(RunConfig(benchmark=benchmark, scheme="spawn"))
-    flat = runner.run(RunConfig(benchmark=benchmark, scheme="flat"))
+    spawn = simulate(benchmark, "spawn", runner=runner)
+    flat = simulate(benchmark, "flat", runner=runner)
     print()
     print(
         f"SPAWN (no threshold, Algorithm 1): "

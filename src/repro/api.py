@@ -1,0 +1,221 @@
+"""The one stable import surface for driving the reproduction.
+
+Everything a caller needs to run simulations lives here::
+
+    from repro.api import simulate, run_suite, RunConfig
+
+    result = simulate("BFS-graph500", "spawn")
+    report = run_suite(
+        [RunConfig("BFS-graph500", "spawn"), ("MM-small", "flat")],
+        jobs=4, timeout=300.0, max_retries=2,
+    )
+
+**API stability.**  Names exported from ``repro.api`` follow a
+deprecation policy: they are never removed or re-signatured without at
+least one release in which the old spelling still works and emits
+``DeprecationWarning`` (see ``parse_scheme`` and the ``Runner.run_simple``
+keyword pass-through for the current examples).  Internal modules
+(``repro.sim``, ``repro.harness`` internals, ``repro.core``) remain free
+to refactor between releases — import them directly only when you accept
+that churn.
+
+The façade deliberately re-exports the few types its signatures mention
+(:class:`RunConfig`, :class:`Runner`, :class:`SimResult`,
+:class:`GPUConfig`, :class:`SuiteReport`, :class:`ExecutionPolicy`,
+:class:`FaultPlan`, ...) so downstream code can depend on ``repro.api``
+alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import (
+    HarnessError,
+    ReproError,
+    RunFailure,
+    TaskTimeout,
+    WorkerCrash,
+)
+from repro.harness.faults import FaultPlan, FlakyStore
+from repro.harness.parallel import (
+    ExecutionPolicy,
+    ParallelRunner,
+    SuiteReport,
+    TaskOutcome,
+    default_jobs,
+)
+from repro.harness.replication import ReplicationResult, replicate
+from repro.harness.runner import (
+    PER_CHILD,
+    PER_PARENT_CTA,
+    RunConfig,
+    Runner,
+    geometric_mean,
+)
+from repro.harness.schemes import DP_SCHEMES, SchemeSpec
+from repro.harness.store import ResultStore, default_cache_dir
+from repro.harness.sweep import SweepResult, offline_search, threshold_sweep
+from repro.obs.tracer import Tracer
+from repro.sim.config import GPUConfig, kepler_k20m, small_debug_gpu
+from repro.sim.engine import SimResult
+
+#: Things run_suite accepts as one entry: a full config or (benchmark, scheme).
+ConfigLike = Union[RunConfig, Tuple[str, str]]
+
+
+def _as_config(entry: ConfigLike, seed: int) -> RunConfig:
+    if isinstance(entry, RunConfig):
+        return entry
+    try:
+        benchmark, scheme = entry
+    except (TypeError, ValueError):
+        raise HarnessError(
+            f"suite entries must be RunConfig or (benchmark, scheme), got {entry!r}"
+        ) from None
+    return RunConfig(benchmark=benchmark, scheme=scheme, seed=seed)
+
+
+def _make_runner(
+    gpu: Optional[GPUConfig],
+    max_events: Optional[int],
+    store: Optional[ResultStore],
+    cache_dir,
+) -> Runner:
+    kwargs = {}
+    if max_events is not None:
+        kwargs["max_events"] = max_events
+    return Runner(gpu, store=store, cache_dir=cache_dir, **kwargs)
+
+
+def simulate(
+    benchmark: str,
+    scheme: str,
+    *,
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 1,
+    cta_threads: Optional[int] = None,
+    stream_policy: str = PER_CHILD,
+    trace_interval: float = 1000.0,
+    max_events: Optional[int] = None,
+    runner: Optional[Runner] = None,
+    store: Optional[ResultStore] = None,
+    cache_dir=None,
+    tracer: Optional[Tracer] = None,
+) -> SimResult:
+    """Run (or fetch from cache) one benchmark/scheme combination.
+
+    The end-to-end entry point: builds the Table I benchmark, parses the
+    scheme, simulates on ``gpu`` (default: the paper's K20m-like
+    configuration) and returns the :class:`SimResult`.  Pass ``runner`` to
+    share caches across calls; otherwise ``store``/``cache_dir`` control
+    persistence for this call's throwaway runner.
+    """
+    if runner is None:
+        runner = _make_runner(gpu, max_events, store, cache_dir)
+    config = RunConfig(
+        benchmark=benchmark,
+        scheme=scheme,
+        seed=seed,
+        cta_threads=cta_threads,
+        stream_policy=stream_policy,
+        trace_interval=trace_interval,
+    )
+    return runner.run(config, tracer=tracer)
+
+
+def speedup(
+    benchmark: str,
+    scheme: str,
+    *,
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 1,
+    runner: Optional[Runner] = None,
+) -> float:
+    """Speedup of ``scheme`` over the flat variant (the paper's metric)."""
+    if runner is None:
+        runner = _make_runner(gpu, None, None, None)
+    return runner.speedup(benchmark, scheme, seed=seed)
+
+
+def run_suite(
+    configs: Sequence[ConfigLike],
+    *,
+    gpu: Optional[GPUConfig] = None,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff: float = 0.0,
+    fail_fast: bool = False,
+    faults: Optional[FaultPlan] = None,
+    max_events: Optional[int] = None,
+    runner: Optional[Runner] = None,
+    store: Optional[ResultStore] = None,
+    cache_dir=None,
+    tracer: Optional[Tracer] = None,
+) -> SuiteReport:
+    """Run a whole set of configs fault-tolerantly; quarantine failures.
+
+    Entries may be :class:`RunConfig` instances or plain
+    ``(benchmark, scheme)`` pairs (run under ``seed``).  The suite
+    completes even when individual runs crash, hang past ``timeout``, or
+    fail permanently — inspect :attr:`SuiteReport.failures` afterwards, or
+    call :meth:`SuiteReport.raise_if_failed`.  Attach a ``store`` (or
+    ``cache_dir``) to checkpoint completed runs: re-invoking after a
+    mid-suite kill re-simulates only the missing configs.
+    """
+    if runner is None:
+        runner = _make_runner(gpu, max_events, store, cache_dir)
+    policy = ExecutionPolicy(
+        timeout=timeout,
+        max_retries=max_retries,
+        backoff=backoff,
+        fail_fast=fail_fast,
+    )
+    parallel = ParallelRunner(runner, policy=policy, faults=faults, tracer=tracer)
+    return parallel.run_suite(
+        [_as_config(entry, seed) for entry in configs], jobs=jobs
+    )
+
+
+__all__ = [
+    # entry points
+    "simulate",
+    "speedup",
+    "run_suite",
+    "threshold_sweep",
+    "offline_search",
+    "replicate",
+    "geometric_mean",
+    "default_jobs",
+    "default_cache_dir",
+    # core types
+    "RunConfig",
+    "Runner",
+    "ParallelRunner",
+    "SimResult",
+    "GPUConfig",
+    "SchemeSpec",
+    "SuiteReport",
+    "TaskOutcome",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "FlakyStore",
+    "ResultStore",
+    "SweepResult",
+    "ReplicationResult",
+    "Tracer",
+    # constants / presets
+    "DP_SCHEMES",
+    "PER_CHILD",
+    "PER_PARENT_CTA",
+    "kepler_k20m",
+    "small_debug_gpu",
+    # errors
+    "ReproError",
+    "HarnessError",
+    "RunFailure",
+    "WorkerCrash",
+    "TaskTimeout",
+]

@@ -120,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
     suite.add_argument("--no-store", action="store_true",
                        help="skip the on-disk cache entirely")
+    suite.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-task timeout; a hung worker is retried "
+                            "instead of hanging the suite (default: none)")
+    suite.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="re-dispatches per task after its first failed "
+                            "attempt (default: 2)")
+    suite.add_argument("--resume", action="store_true",
+                       help="resume a partially-completed suite from the "
+                            "persistent store: only missing configs are "
+                            "simulated (requires the store)")
+    suite.add_argument("--fail-fast", action="store_true",
+                       help="abort on the first quarantined run instead of "
+                            "completing the rest of the suite")
 
     cache = sub.add_parser("cache", help="inspect or clear the on-disk result store")
     cache.add_argument("action", nargs="?", default="stats",
@@ -318,8 +331,10 @@ def cmd_experiment(args, out) -> int:
 
 
 def cmd_suite(args, out) -> int:
-    from repro.experiments import run_all
-    from repro.harness.parallel import default_jobs
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.plans import suite_plan
+    from repro.harness.faults import FaultPlan
+    from repro.harness.parallel import ExecutionPolicy, ParallelRunner, default_jobs
     from repro.harness.store import ResultStore
     from repro.obs.profile import REGISTRY
 
@@ -327,13 +342,17 @@ def cmd_suite(args, out) -> int:
     if jobs < 1:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 2
+    if args.resume and args.no_store:
+        print("error: --resume needs the persistent store (drop --no-store)",
+              file=sys.stderr)
+        return 2
     store = None if args.no_store else ResultStore(args.cache_dir)
     runner = Runner(store=store)
     if args.experiments:
-        from repro.experiments import ALL_EXPERIMENTS
-        from repro.experiments.plans import suite_plan
-        from repro.harness.parallel import ParallelRunner
-
         names = [name.strip() for name in args.experiments.split(",") if name.strip()]
         unknown = [name for name in names if name not in ALL_EXPERIMENTS]
         if unknown:
@@ -343,11 +362,53 @@ def cmd_suite(args, out) -> int:
                 file=sys.stderr,
             )
             return 2
-        ParallelRunner(runner).run_many(suite_plan(args.seed, names), jobs=jobs)
-        results = (ALL_EXPERIMENTS[name](runner, args.seed) for name in names)
     else:
-        results = run_all(runner, seed=args.seed, jobs=jobs)
-    for result in results:
+        names = list(ALL_EXPERIMENTS)
+    policy = ExecutionPolicy(
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        fail_fast=args.fail_fast,
+    )
+    faults = FaultPlan.from_env()
+    if faults is not None:
+        print(f"chaos: injecting faults {faults.to_dict()}", file=sys.stderr)
+        if store is not None:
+            runner.store = faults.flaky_store(store)
+    parallel = ParallelRunner(runner, policy=policy, faults=faults)
+    report = parallel.run_suite(suite_plan(args.seed, names), jobs=jobs)
+    if args.resume:
+        print(
+            f"resume: {report.resumed} of "
+            f"{report.resumed + len(report.outcomes)} planned runs already "
+            "completed; re-simulated only the rest",
+            file=sys.stderr,
+        )
+    if report.failures or report.skipped:
+        rows = [
+            (o.config.benchmark, o.config.scheme, o.status, o.attempts,
+             o.error or "")
+            for o in report.outcomes
+            if o.status != "ok"
+        ]
+        print(
+            format_table(
+                ["benchmark", "scheme", "status", "attempts", "error"],
+                rows,
+                title="quarantined runs (suite continued without them)",
+            ),
+            file=sys.stderr,
+        )
+        if args.fail_fast:
+            print("suite aborted (--fail-fast)", file=sys.stderr)
+            return 1
+    failed_experiments = []
+    for name in names:
+        try:
+            result = ALL_EXPERIMENTS[name](runner, args.seed)
+        except ReproError as exc:
+            failed_experiments.append((name, str(exc)))
+            print(f"experiment {name} failed: {exc}", file=sys.stderr)
+            continue
         print(result.table(), file=out)
         print(file=out)
     counters = REGISTRY.counters
@@ -355,12 +416,17 @@ def cmd_suite(args, out) -> int:
         "suite done: "
         f"jobs={jobs} "
         f"fanned_out={int(counters.get('parallel.fanned_out', 0))} "
+        f"resumed={report.resumed} "
+        f"retries={report.retries} "
+        f"timeouts={report.timeouts} "
+        f"worker_crashes={report.worker_crashes} "
+        f"quarantined={report.quarantined} "
         f"simulated_inline={int(counters.get('runner.cache_misses', 0))} "
         f"memory_hits={int(counters.get('runner.cache_hits', 0))} "
         f"disk_hits={int(counters.get('runner.disk_hits', 0))}",
         file=sys.stderr,
     )
-    return 0
+    return 1 if (report.failures or failed_experiments) else 0
 
 
 def cmd_cache(args, out) -> int:

@@ -35,3 +35,26 @@ class WorkloadError(ReproError):
 
 class HarnessError(ReproError):
     """The experiment harness was misconfigured (unknown scheme/benchmark)."""
+
+
+class RunFailure(HarnessError):
+    """One run could not produce a result after every allowed attempt.
+
+    Raised (or recorded in a quarantine report) by the fault-tolerant
+    execution layer.  Carries the :class:`~repro.harness.runner.RunConfig`
+    that failed and how many attempts were made, so suite reports can name
+    the exact simulation that was lost.
+    """
+
+    def __init__(self, message: str, *, config=None, attempts: int = 0):
+        super().__init__(message)
+        self.config = config
+        self.attempts = attempts
+
+
+class WorkerCrash(RunFailure):
+    """A worker process died (or the pool broke) while holding this task."""
+
+
+class TaskTimeout(RunFailure):
+    """A task exceeded the execution policy's per-task timeout."""

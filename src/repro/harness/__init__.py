@@ -19,7 +19,14 @@ from repro.harness.export import (
     result_to_json,
 )
 from repro.harness.bench import BENCH_PAIRS, run_bench, write_report
-from repro.harness.parallel import ParallelRunner, default_jobs
+from repro.harness.faults import FaultPlan, FlakyStore
+from repro.harness.parallel import (
+    ExecutionPolicy,
+    ParallelRunner,
+    SuiteReport,
+    TaskOutcome,
+    default_jobs,
+)
 from repro.harness.plotting import bar_chart, sparkline, timeline
 from repro.harness.replication import (
     ReplicationResult,
@@ -41,11 +48,16 @@ __all__ = [
     "BENCH_PAIRS",
     "DP_SCHEMES",
     "DTBL",
+    "ExecutionPolicy",
     "FLAT",
+    "FaultPlan",
+    "FlakyStore",
     "OFFLINE",
     "SPAWN",
     "ParallelRunner",
     "ResultStore",
+    "SuiteReport",
+    "TaskOutcome",
     "RunConfig",
     "Runner",
     "SchemeSpec",

@@ -12,6 +12,8 @@ no disk cache, preserving the historical behavior).
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -58,6 +60,49 @@ class RunConfig:
         )
 
 
+#: Field names a deprecated ``**kwargs`` pass-through may still carry.
+_RUN_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(RunConfig))
+
+
+def _explicit_config(
+    caller: str,
+    benchmark: str,
+    scheme: str,
+    seed: int,
+    cta_threads: Optional[int],
+    stream_policy: str,
+    legacy: Dict[str, object],
+) -> RunConfig:
+    """Build a RunConfig from explicit keywords plus a deprecated overflow.
+
+    ``legacy`` holds keywords the tightened signatures no longer spell out;
+    valid :class:`RunConfig` field names still work but warn, anything else
+    is a TypeError (as it always was).
+    """
+    if legacy:
+        unknown = sorted(set(legacy) - _RUN_CONFIG_FIELDS)
+        if unknown:
+            raise TypeError(
+                f"Runner.{caller}() got unexpected keyword argument(s): "
+                f"{', '.join(unknown)}"
+            )
+        warnings.warn(
+            f"Runner.{caller}(**{sorted(legacy)}): keyword pass-through is "
+            "deprecated; build a RunConfig (or call repro.api.simulate) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RunConfig(
+        benchmark=benchmark,
+        scheme=scheme,
+        seed=seed,
+        cta_threads=cta_threads,
+        stream_policy=stream_policy,
+        **legacy,
+    )
+
+
 class Runner:
     """Runs benchmarks under schemes against one GPU configuration."""
 
@@ -94,8 +139,7 @@ class Runner:
                 REGISTRY.count("runner.cache_hits")
                 return cached
             if self.store is not None:
-                disk_key = self.store.key_for(run_config, self.config, self.max_events)
-                stored = self.store.load(disk_key)
+                stored = self._store_load(run_config)
                 if stored is not None:
                     REGISTRY.count("runner.disk_hits")
                     self._cache[key] = stored
@@ -103,7 +147,7 @@ class Runner:
                 REGISTRY.count("runner.disk_misses")
         REGISTRY.count("runner.cache_misses")
         benchmark = get_benchmark(run_config.benchmark)
-        spec = sch.parse_scheme(run_config.scheme)
+        spec = sch.SchemeSpec.parse(run_config.scheme)
         if spec.name == sch.OFFLINE:
             raise HarnessError(
                 "resolve 'offline' through harness.sweep.offline_search first"
@@ -140,8 +184,7 @@ class Runner:
         if cached is not None:
             return cached
         if self.store is not None:
-            disk_key = self.store.key_for(run_config, self.config, self.max_events)
-            stored = self.store.load(disk_key)
+            stored = self._store_load(run_config)
             if stored is not None:
                 self._cache[run_config.key()] = stored
                 return stored
@@ -155,16 +198,76 @@ class Runner:
         """
         self._cache[run_config.key()] = result
         if self.store is not None:
-            disk_key = self.store.key_for(run_config, self.config, self.max_events)
-            self.store.save(disk_key, result)
+            self._store_save(run_config, result)
 
-    def run_simple(self, benchmark: str, scheme: str, **kwargs) -> SimResult:
-        return self.run(RunConfig(benchmark=benchmark, scheme=scheme, **kwargs))
+    # -- persistent store, IO-fault tolerant ----------------------------
+    # The disk cache is an optimization; a failing filesystem must never
+    # take a simulation (let alone a whole suite) down with it.  Both
+    # directions swallow OSError, count it, and carry on.
+    def _store_load(self, run_config: RunConfig) -> Optional[SimResult]:
+        try:
+            return self.store.load(
+                self.store.key_for(run_config, self.config, self.max_events)
+            )
+        except OSError:
+            REGISTRY.count("runner.store_errors")
+            return None
 
-    def speedup(self, benchmark: str, scheme: str, **kwargs) -> float:
+    def _store_save(self, run_config: RunConfig, result: SimResult) -> None:
+        try:
+            self.store.save(
+                self.store.key_for(run_config, self.config, self.max_events),
+                result,
+            )
+        except OSError:
+            REGISTRY.count("runner.store_errors")
+
+    def run_simple(
+        self,
+        benchmark: str,
+        scheme: str,
+        *,
+        seed: int = 1,
+        cta_threads: Optional[int] = None,
+        stream_policy: str = PER_CHILD,
+        **legacy,
+    ) -> SimResult:
+        """Run one benchmark/scheme pair with explicit keyword parameters.
+
+        Other :class:`RunConfig` fields (``trace_interval``) may still be
+        passed through ``**legacy`` but that spelling is deprecated — build
+        a :class:`RunConfig` (or call :func:`repro.api.simulate`) instead.
+        """
+        return self.run(
+            _explicit_config(
+                "run_simple", benchmark, scheme, seed, cta_threads,
+                stream_policy, legacy,
+            )
+        )
+
+    def speedup(
+        self,
+        benchmark: str,
+        scheme: str,
+        *,
+        seed: int = 1,
+        cta_threads: Optional[int] = None,
+        stream_policy: str = PER_CHILD,
+        **legacy,
+    ) -> float:
         """Speedup of ``scheme`` over the flat variant (the paper's metric)."""
-        flat = self.run(RunConfig(benchmark=benchmark, scheme=sch.FLAT, **kwargs))
-        other = self.run(RunConfig(benchmark=benchmark, scheme=scheme, **kwargs))
+        flat = self.run(
+            _explicit_config(
+                "speedup", benchmark, sch.FLAT, seed, cta_threads,
+                stream_policy, legacy,
+            )
+        )
+        other = self.run(
+            _explicit_config(
+                "speedup", benchmark, scheme, seed, cta_threads,
+                stream_policy, legacy,
+            )
+        )
         if other.makespan <= 0:
             raise HarnessError(f"{benchmark}/{scheme}: zero makespan")
         return flat.makespan / other.makespan

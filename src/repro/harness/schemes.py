@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -42,22 +43,32 @@ class SchemeSpec:
     variant: str  # "flat" or "dp"
     threshold: Optional[int] = None  # for threshold:<T>
 
+    @classmethod
+    def parse(cls, scheme: str) -> "SchemeSpec":
+        """Parse a scheme string into a :class:`SchemeSpec`."""
+        if scheme == FLAT:
+            return cls(FLAT, "flat")
+        if scheme in (BASELINE_DP, OFFLINE, SPAWN, DTBL):
+            return cls(scheme, "dp")
+        if scheme.startswith("threshold:"):
+            try:
+                threshold = int(scheme.split(":", 1)[1])
+            except ValueError:
+                raise HarnessError(f"bad threshold scheme {scheme!r}") from None
+            if threshold < 0:
+                raise HarnessError(f"negative threshold in {scheme!r}")
+            return cls(scheme, "dp", threshold=threshold)
+        raise HarnessError(f"unknown scheme {scheme!r}")
+
 
 def parse_scheme(scheme: str) -> SchemeSpec:
-    """Parse a scheme string into a :class:`SchemeSpec`."""
-    if scheme == FLAT:
-        return SchemeSpec(FLAT, "flat")
-    if scheme in (BASELINE_DP, OFFLINE, SPAWN, DTBL):
-        return SchemeSpec(scheme, "dp")
-    if scheme.startswith("threshold:"):
-        try:
-            threshold = int(scheme.split(":", 1)[1])
-        except ValueError:
-            raise HarnessError(f"bad threshold scheme {scheme!r}") from None
-        if threshold < 0:
-            raise HarnessError(f"negative threshold in {scheme!r}")
-        return SchemeSpec(scheme, "dp", threshold=threshold)
-    raise HarnessError(f"unknown scheme {scheme!r}")
+    """Deprecated alias for :meth:`SchemeSpec.parse`."""
+    warnings.warn(
+        "parse_scheme() is deprecated; use SchemeSpec.parse()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return SchemeSpec.parse(scheme)
 
 
 def make_policy(spec: SchemeSpec, benchmark: Benchmark) -> LaunchPolicy:

@@ -38,7 +38,8 @@ from repro.sim.engine import SimResult
 #: Bump whenever the serialized payload or the simulation semantics change
 #: in a way that invalidates stored results.  The version participates in
 #: the hashed key, so a bump orphans (rather than misreads) old entries.
-SCHEMA_VERSION = 1
+#: v2: the run portion of the key document is RunConfig.key() verbatim.
+SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -72,17 +73,17 @@ class ResultStore:
     # ------------------------------------------------------------------
     @staticmethod
     def key_for(run_config, gpu_config: GPUConfig, max_events: int) -> str:
-        """SHA-256 hex key covering every input that shapes the result."""
+        """SHA-256 hex key covering every input that shapes the result.
+
+        The run portion is :meth:`RunConfig.key` verbatim, so the runner's
+        memory-cache identity is the single source of truth: a new
+        ``RunConfig`` field added to ``key()`` automatically changes the
+        disk key too, instead of silently missing from a second field
+        enumeration here.
+        """
         document = {
             "schema": SCHEMA_VERSION,
-            "run": {
-                "benchmark": run_config.benchmark,
-                "scheme": run_config.scheme,
-                "seed": run_config.seed,
-                "cta_threads": run_config.cta_threads,
-                "stream_policy": run_config.stream_policy,
-                "trace_interval": run_config.trace_interval,
-            },
+            "run": list(run_config.key()),
             "gpu": dataclasses.asdict(gpu_config),
             "max_events": max_events,
         }

@@ -68,19 +68,22 @@ def threshold_sweep(
     seed: int = 1,
     thresholds: Optional[Tuple[int, ...]] = None,
     jobs: int = 1,
+    policy=None,
 ) -> SweepResult:
     """Run the benchmark at every static THRESHOLD (plus the flat bound).
 
     ``jobs > 1`` fans the sweep's runs out across worker processes first;
     results are identical to the serial sweep (simulations are
-    deterministic), just wall-clock faster.
+    deterministic), just wall-clock faster.  ``policy`` is an optional
+    :class:`~repro.harness.parallel.ExecutionPolicy` for the fan-out
+    (timeouts/retries).
     """
     benchmark = get_benchmark(benchmark_name)
     sweep = thresholds if thresholds is not None else benchmark.sweep_thresholds
     if jobs > 1:
         from repro.harness.parallel import ParallelRunner
 
-        ParallelRunner(runner).run_many(
+        ParallelRunner(runner, policy=policy).run_many(
             sweep_plan(benchmark_name, seed=seed, thresholds=sweep), jobs=jobs
         )
     flat = runner.run(RunConfig(benchmark=benchmark_name, scheme=sch.FLAT, seed=seed))
@@ -108,7 +111,12 @@ def _point(threshold: int, flat: SimResult, result: SimResult) -> SweepPoint:
 
 
 def offline_search(
-    runner: Runner, benchmark_name: str, *, seed: int = 1, jobs: int = 1
+    runner: Runner,
+    benchmark_name: str,
+    *,
+    seed: int = 1,
+    jobs: int = 1,
+    policy=None,
 ) -> Tuple[int, SimResult]:
     """Best static threshold and its run (the paper's Offline-Search).
 
@@ -116,7 +124,9 @@ def offline_search(
     best *DP* workload distribution; a benchmark that prefers ~0% offload
     expresses that through a large THRESHOLD.
     """
-    sweep = threshold_sweep(runner, benchmark_name, seed=seed, jobs=jobs)
+    sweep = threshold_sweep(
+        runner, benchmark_name, seed=seed, jobs=jobs, policy=policy
+    )
     best = sweep.best()
     result = runner.run(
         RunConfig(

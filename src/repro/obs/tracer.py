@@ -49,6 +49,18 @@ LAUNCH_BATCH_ARRIVE = "launch_unit.arrive"  # batch's kernels reach the GMU
 
 LAUNCH_DECISION = "launch.decision"  # policy verdict on one launch request
 
+# Fault-tolerant execution layer (repro.harness.parallel).  Unlike the
+# simulator kinds above, these are stamped with wall-clock seconds
+# (time.perf_counter), not simulated cycles — they describe the harness
+# itself, not the modelled GPU.
+HARNESS_RETRY = "harness.retry"  # a failed task got another attempt
+HARNESS_TIMEOUT = "harness.timeout"  # a task exceeded the per-task timeout
+HARNESS_WORKER_CRASH = "harness.worker_crash"  # the process pool broke
+HARNESS_REQUEUE = "harness.requeue"  # a crash-lost task was re-dispatched
+HARNESS_QUARANTINE = "harness.quarantine"  # a task failed permanently
+HARNESS_POOL_REBUILD = "harness.pool_rebuild"  # a fresh pool replaced a broken one
+HARNESS_SERIAL_FALLBACK = "harness.serial_fallback"  # degraded to in-process
+
 #: Every kind above, for validation and exporter dispatch.
 ALL_KINDS = frozenset(
     {
@@ -65,6 +77,13 @@ ALL_KINDS = frozenset(
         LAUNCH_BATCH_SERVICE,
         LAUNCH_BATCH_ARRIVE,
         LAUNCH_DECISION,
+        HARNESS_RETRY,
+        HARNESS_TIMEOUT,
+        HARNESS_WORKER_CRASH,
+        HARNESS_REQUEUE,
+        HARNESS_QUARANTINE,
+        HARNESS_POOL_REBUILD,
+        HARNESS_SERIAL_FALLBACK,
     }
 )
 

@@ -21,36 +21,41 @@ def runner():
 
 class TestSchemeParsing:
     def test_known_schemes(self):
-        assert sch.parse_scheme("flat").variant == "flat"
-        assert sch.parse_scheme("baseline-dp").variant == "dp"
-        assert sch.parse_scheme("spawn").name == "spawn"
-        assert sch.parse_scheme("dtbl").name == "dtbl"
+        assert sch.SchemeSpec.parse("flat").variant == "flat"
+        assert sch.SchemeSpec.parse("baseline-dp").variant == "dp"
+        assert sch.SchemeSpec.parse("spawn").name == "spawn"
+        assert sch.SchemeSpec.parse("dtbl").name == "dtbl"
 
     def test_threshold_scheme(self):
-        spec = sch.parse_scheme("threshold:128")
+        spec = sch.SchemeSpec.parse("threshold:128")
         assert spec.threshold == 128
         assert spec.variant == "dp"
 
     def test_bad_schemes(self):
         with pytest.raises(HarnessError):
-            sch.parse_scheme("nope")
+            sch.SchemeSpec.parse("nope")
         with pytest.raises(HarnessError):
-            sch.parse_scheme("threshold:abc")
+            sch.SchemeSpec.parse("threshold:abc")
         with pytest.raises(HarnessError):
-            sch.parse_scheme("threshold:-4")
+            sch.SchemeSpec.parse("threshold:-4")
 
     def test_make_policy_matches_scheme(self):
         bench = get_benchmark(FAST)
-        policy = sch.make_policy(sch.parse_scheme("baseline-dp"), bench)
+        policy = sch.make_policy(sch.SchemeSpec.parse("baseline-dp"), bench)
         assert policy.threshold == bench.default_threshold
-        policy = sch.make_policy(sch.parse_scheme("threshold:99"), bench)
+        policy = sch.make_policy(sch.SchemeSpec.parse("threshold:99"), bench)
         assert policy.threshold == 99
-        policy = sch.make_policy(sch.parse_scheme("spawn"), bench)
+        policy = sch.make_policy(sch.SchemeSpec.parse("spawn"), bench)
         assert policy.name == "spawn"
 
     def test_offline_has_no_direct_policy(self):
         with pytest.raises(HarnessError):
-            sch.make_policy(sch.parse_scheme("offline"), get_benchmark(FAST))
+            sch.make_policy(sch.SchemeSpec.parse("offline"), get_benchmark(FAST))
+
+    def test_parse_scheme_alias_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="SchemeSpec.parse"):
+            spec = sch.parse_scheme("threshold:64")
+        assert spec == sch.SchemeSpec.parse("threshold:64")
 
 
 class TestRunner:

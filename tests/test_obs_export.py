@@ -31,7 +31,7 @@ def traced_run(benchmark="GC-citation", scheme="spawn"):
     bench = get_benchmark(benchmark)
     tracer = Tracer()
     sim = GPUSimulator(
-        policy=sch.make_policy(sch.parse_scheme(scheme), bench), tracer=tracer
+        policy=sch.make_policy(sch.SchemeSpec.parse(scheme), bench), tracer=tracer
     )
     sim.run(bench.dp(1))
     return tracer.events()

@@ -116,7 +116,7 @@ class TestEngineInstrumentation:
         bench = get_benchmark("GC-citation")
         tracer = Tracer()
         sim = GPUSimulator(
-            policy=sch.make_policy(sch.parse_scheme("spawn"), bench),
+            policy=sch.make_policy(sch.SchemeSpec.parse("spawn"), bench),
             tracer=tracer,
         )
         result = sim.run(bench.dp(1))
@@ -126,7 +126,7 @@ class TestEngineInstrumentation:
         result, _ = traced
         bench = get_benchmark("GC-citation")
         plain = GPUSimulator(
-            policy=sch.make_policy(sch.parse_scheme("spawn"), bench)
+            policy=sch.make_policy(sch.SchemeSpec.parse("spawn"), bench)
         ).run(bench.dp(1))
         assert plain.makespan == result.makespan
         assert plain.summary() == result.summary()

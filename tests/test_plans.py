@@ -25,7 +25,7 @@ class TestPlanTable:
         keys = [config.key() for config in plan]
         assert len(keys) == len(set(keys))
         for config in plan:
-            sch.parse_scheme(config.scheme)  # raises on an invalid scheme
+            sch.SchemeSpec.parse(config.scheme)  # raises on an invalid scheme
 
     def test_static_experiments_plan_nothing(self):
         for name in ("table1", "table2", "fig01"):
