@@ -1,0 +1,260 @@
+"""Naive reference implementations for differential engine validation.
+
+PR 2 optimized the engine hot path: the tuple-heap :class:`EventQueue` with
+dead-entry compaction, the maintained ``next_target`` horizon in
+:meth:`SMX.next_event_time`, and the insertion-ordered-dict LRU in the L2
+model.  Each optimized component gets a deliberately naive counterpart here
+— linear-scan event list, recomputed-from-scratch horizons, list-based LRU
+— with *identical semantics*.  :func:`run_differential` runs the same
+application through both simulators and asserts the event streams are
+identical event-for-event and the final stats are bit-identical, which is
+how an ordering bug in an optimization surfaces even when the makespan
+happens to cancel out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.check.golden import GoldenMismatch, canonical_events, diff_traces
+from repro.errors import SimulationError
+from repro.obs.tracer import Tracer
+from repro.sim.engine import GPUSimulator
+from repro.sim.events import Event
+from repro.sim.instances import EPSILON, CTAInstance
+from repro.sim.kernel import Application
+from repro.sim.memory import MemorySystem, SetAssociativeCache
+from repro.sim.smx import SMX
+
+
+class ReferenceEventQueue:
+    """List-based event queue: linear min-scan, eager removal.
+
+    Same contract as :class:`repro.sim.events.EventQueue` (stable FIFO
+    among same-time events via the sequence number, monotone clock), none
+    of the heap/compaction machinery.  O(n) per pop — only for tests.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._next_seq = 0
+        self.now: float = 0.0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._events if not e.cancelled)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> Event:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        event = Event(time, self._next_seq, callback)
+        self._next_seq += 1
+        event._queue = self
+        self._events.append(event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def _note_cancelled(self) -> None:
+        """Eagerly drop cancelled events (the naive strategy)."""
+        self._events = [e for e in self._events if not e.cancelled]
+
+    def pop(self) -> Optional[Event]:
+        events = self._events
+        if not events:
+            return None
+        best = min(events, key=lambda e: (e.time, e.seq))
+        events.remove(best)
+        self.now = best.time
+        return best
+
+    def peek_time(self) -> Optional[float]:
+        events = self._events
+        if not events:
+            return None
+        return min(events, key=lambda e: (e.time, e.seq)).time
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {executed} events "
+                    "(likely a livelock in the simulated system)"
+                )
+            event = self.pop()
+            if event is None:
+                return executed
+            event.callback()
+            executed += 1
+
+
+def _recomputed_target(cta: CTAInstance) -> float:
+    """A CTA's next progress target, derived from scratch.
+
+    The optimized :class:`SMX` trusts the incrementally maintained
+    ``next_target``; the reference re-derives it every time from the
+    decision list and the warp critical paths.
+    """
+    if cta.next_decision < len(cta.decisions):
+        return cta.decisions[cta.next_decision].at_consumed
+    return max(cta.warp_total)
+
+
+class ReferenceSMX(SMX):
+    """SMX whose event horizon is recomputed from scratch each query."""
+
+    def next_event_time(self, now: float) -> Optional[float]:
+        if not self.resident:
+            return None
+        self.advance(now)
+        slack = min(_recomputed_target(c) - c.consumed for c in self.resident)
+        if slack <= 0.0:
+            return now
+        return now + slack / self.scale
+
+    def ctas_with_fired_decisions(self) -> List[CTAInstance]:
+        return [
+            c
+            for c in self.resident
+            if c.next_decision < len(c.decisions)
+            and _recomputed_target(c) <= c.consumed + EPSILON
+        ]
+
+
+class ReferenceLRUCache(SetAssociativeCache):
+    """Set-associative LRU with list-based sets (O(ways) scans).
+
+    Same replacement semantics as the dict-based optimized cache: a list
+    ordered LRU-first, hits move the line to the tail (MRU), misses evict
+    the head when the set is full.
+    """
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    def access_line(self, line: int) -> bool:
+        ways = self._sets[line % self.num_sets]
+        if line in ways:
+            self.hits += 1
+            ways.remove(line)
+            ways.append(line)
+            return True
+        self.misses += 1
+        if len(ways) >= self.associativity:
+            ways.pop(0)
+        ways.append(line)
+        return False
+
+    def access_lines(self, lines) -> Tuple[int, int]:
+        # access_line maintains the hit/miss counters; only tally the
+        # per-stream return value here.
+        hits = 0
+        total = 0
+        for line in lines:
+            total += 1
+            if self.access_line(line):
+                hits += 1
+        return hits, total - hits
+
+    def contains_line(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+
+class ReferenceMemorySystem(MemorySystem):
+    """Memory system built on the naive list-based LRU cache."""
+
+    cache_cls = ReferenceLRUCache
+
+
+class ReferenceSimulator(GPUSimulator):
+    """The engine with every optimized component swapped for its reference."""
+
+    queue_factory = ReferenceEventQueue
+    smx_factory = ReferenceSMX
+    memory_factory = ReferenceMemorySystem
+
+
+@dataclass
+class DifferentialMismatch:
+    """Where the optimized and reference runs diverged."""
+
+    kind: str  # "events" or "stats"
+    detail: str
+    trace_divergence: Optional[GoldenMismatch] = None
+
+    def __str__(self) -> str:
+        return f"differential mismatch [{self.kind}]: {self.detail}"
+
+
+def run_differential(
+    app: Application,
+    *,
+    config=None,
+    policy_factory: Optional[Callable[[], object]] = None,
+    stream_policy_factory: Optional[Callable[[], object]] = None,
+    sim_kwargs: Optional[Dict[str, object]] = None,
+) -> Optional[DifferentialMismatch]:
+    """Run ``app`` through the optimized and reference engines and compare.
+
+    Policies and stream policies are stateful across a run, so fresh
+    instances are built per engine via the factories (defaults: the
+    engine's own defaults).  Returns None when the event streams are
+    identical and the final stats round-trip dicts are equal; otherwise a
+    :class:`DifferentialMismatch` naming the first divergence.
+    """
+    kwargs = dict(sim_kwargs or {})
+
+    def build(sim_cls):
+        tracer = Tracer()
+        sim = sim_cls(
+            config=config,
+            policy=policy_factory() if policy_factory else None,
+            stream_policy=(
+                stream_policy_factory() if stream_policy_factory else None
+            ),
+            tracer=tracer,
+            **kwargs,
+        )
+        return sim, tracer
+
+    optimized, opt_tracer = build(GPUSimulator)
+    reference, ref_tracer = build(ReferenceSimulator)
+    opt_result = optimized.run(app)
+    ref_result = reference.run(app)
+
+    divergence = diff_traces(
+        canonical_events(ref_tracer.events()),
+        canonical_events(opt_tracer.events()),
+    )
+    if divergence is not None:
+        return DifferentialMismatch(
+            kind="events",
+            detail=str(divergence),
+            trace_divergence=divergence,
+        )
+    opt_stats = opt_result.stats.to_dict()
+    ref_stats = ref_result.stats.to_dict()
+    if opt_stats != ref_stats:
+        diffs = [
+            key
+            for key in sorted(set(opt_stats) | set(ref_stats))
+            if opt_stats.get(key) != ref_stats.get(key)
+        ]
+        return DifferentialMismatch(
+            kind="stats",
+            detail=(
+                "event streams match but SimStats differ in fields "
+                f"{diffs} (optimized vs reference)"
+            ),
+        )
+    return None

@@ -24,6 +24,12 @@ Commands
     across ``N`` worker processes first and persisting every result in
     the on-disk cache (``.repro-cache/`` or ``$REPRO_CACHE_DIR``); a warm
     cache makes a repeat suite purely a read.
+``check [--update-golden]``
+    Conformance: simulate the pinned golden benchmark x scheme matrix with
+    the runtime invariant checker attached and diff each event trace
+    against the committed golden corpus (``tests/golden/``), naming the
+    first diverging event.  ``--update-golden`` rewrites the corpus after
+    an intentional behaviour change.
 ``cache [stats|clear]``
     Inspect or empty the persistent result store.
 ``bench``
@@ -41,6 +47,7 @@ Examples
     python -m repro sweep SSSP-citation
     python -m repro experiment fig15
     python -m repro suite --jobs 4
+    python -m repro check
     python -m repro cache stats
     python -m repro bench --output BENCH.json
 """
@@ -133,6 +140,24 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--fail-fast", action="store_true",
                        help="abort on the first quarantined run instead of "
                             "completing the rest of the suite")
+
+    check = sub.add_parser(
+        "check",
+        help="conformance: invariant-check the golden matrix and diff traces",
+    )
+    check.add_argument(
+        "--update-golden", action="store_true",
+        help="rewrite the golden trace corpus from the current engine "
+             "(review the diff as a semantic change!)",
+    )
+    check.add_argument(
+        "--golden-dir", default=None, metavar="DIR",
+        help="golden corpus location (default: tests/golden/ in the repo)",
+    )
+    check.add_argument(
+        "--benchmark", default=None, metavar="NAME",
+        help="restrict to one benchmark of the matrix",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the on-disk result store")
     cache.add_argument("action", nargs="?", default="stats",
@@ -429,6 +454,74 @@ def cmd_suite(args, out) -> int:
     return 1 if (report.failures or failed_experiments) else 0
 
 
+def cmd_check(args, out) -> int:
+    from repro.check.golden import (
+        GOLDEN_MATRIX,
+        GOLDEN_SEED,
+        canonical_events,
+        default_golden_dir,
+        diff_traces,
+        golden_path,
+        load_golden,
+        record_trace,
+        write_golden,
+    )
+
+    golden_dir = args.golden_dir if args.golden_dir else default_golden_dir()
+    matrix = [
+        pair for pair in GOLDEN_MATRIX
+        if args.benchmark is None or pair[0] == args.benchmark
+    ]
+    if not matrix:
+        print(
+            f"error: benchmark {args.benchmark!r} is not in the golden matrix",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for benchmark, scheme in matrix:
+        checker, result = record_trace(benchmark, scheme)
+        label = f"{benchmark}/{scheme}"
+        if checker.violations:
+            failures += 1
+            print(
+                f"FAIL {label}: {len(checker.violations)} invariant "
+                "violation(s)",
+                file=out,
+            )
+            for violation in checker.violations[:5]:
+                print(f"  {violation}", file=out)
+            continue
+        events = canonical_events(checker.events())
+        path = golden_path(golden_dir, benchmark, scheme)
+        if args.update_golden:
+            write_golden(
+                path,
+                events,
+                benchmark=benchmark,
+                scheme=scheme,
+                seed=GOLDEN_SEED,
+                makespan=result.makespan,
+            )
+            print(f"wrote {path} ({len(events)} events)", file=out)
+            continue
+        _, expected = load_golden(path)
+        divergence = diff_traces(expected, events)
+        if divergence is not None:
+            failures += 1
+            print(f"FAIL {label}: {divergence}", file=out)
+        else:
+            print(
+                f"ok   {label}: {len(events)} events, invariants clean, "
+                "matches golden",
+                file=out,
+            )
+    if failures:
+        print(f"{failures} of {len(matrix)} matrix cells failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_cache(args, out) -> int:
     from repro.harness.store import ResultStore
 
@@ -539,6 +632,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_experiment(args, out)
         if args.command == "suite":
             return cmd_suite(args, out)
+        if args.command == "check":
+            return cmd_check(args, out)
         if args.command == "cache":
             return cmd_cache(args, out)
         if args.command == "bench":
@@ -547,5 +642,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_plot(args, out)
         raise AssertionError(f"unhandled command {args.command}")
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # Unwritable trace paths, missing cache dirs, full disks: report
+        # like any other user-facing error instead of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1

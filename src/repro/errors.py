@@ -52,6 +52,20 @@ class RunFailure(HarnessError):
         self.attempts = attempts
 
 
+class ConformanceError(ReproError):
+    """A simulation violated a checked runtime invariant.
+
+    Raised by :meth:`repro.check.ConformanceChecker.raise_if_violations`
+    with the list of :class:`~repro.check.invariants.Violation` records
+    attached, so callers (tests, the ``repro check`` CLI) can report every
+    broken invariant, not just the first.
+    """
+
+    def __init__(self, message: str, *, violations=None):
+        super().__init__(message)
+        self.violations = list(violations) if violations is not None else []
+
+
 class WorkerCrash(RunFailure):
     """A worker process died (or the pool broke) while holding this task."""
 

@@ -21,7 +21,7 @@ from repro.errors import HarnessError
 from repro.harness import schemes as sch
 from repro.harness.store import ResultStore
 from repro.obs.profile import REGISTRY
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import MultiTracer, Tracer
 from repro.runtime.streams import PerChildStream, PerParentCTAStream
 from repro.sim.config import GPUConfig
 from repro.sim.engine import GPUSimulator, SimResult
@@ -123,7 +123,11 @@ class Runner:
         self.store = store
 
     def run(
-        self, run_config: RunConfig, *, tracer: Optional[Tracer] = None
+        self,
+        run_config: RunConfig,
+        *,
+        tracer: Optional[Tracer] = None,
+        check: bool = False,
     ) -> SimResult:
         """Run (or fetch from cache) one benchmark/scheme combination.
 
@@ -131,7 +135,23 @@ class Runner:
         event stream to offer) but the result is still cached afterwards —
         tracing does not perturb the simulation, so the summary is
         interchangeable with an untraced run's.
+
+        ``check=True`` attaches a :class:`repro.check.ConformanceChecker`
+        for the run (fanned out next to ``tracer`` when both are given)
+        and raises :class:`~repro.errors.ConformanceError` if any runtime
+        invariant is violated.  Like tracing, checking forces a fresh
+        simulation without perturbing it.
         """
+        checker = None
+        if check:
+            # Import here so the checker stays out of the harness's module
+            # graph for the overwhelmingly common check-free runs.
+            from repro.check.invariants import ConformanceChecker
+
+            checker = ConformanceChecker(self.config)
+            tracer = (
+                checker if tracer is None else MultiTracer([tracer, checker])
+            )
         key = run_config.key()
         if tracer is None:
             cached = self._cache.get(key)
@@ -170,6 +190,9 @@ class Runner:
             f"sim.run/{run_config.benchmark}/{run_config.scheme}"
         ):
             result = sim.run(app)
+        if checker is not None:
+            checker.finalize(result)
+            checker.raise_if_violations()
         self.cache_result(run_config, result)
         return result
 

@@ -128,7 +128,11 @@ class ResultStore:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                # allow_nan=False enforces the strict-JSON contract: any
+                # non-finite float must already be tagged by the stats
+                # encoder (repro.sim.stats.encode_json_floats), never
+                # smuggled through as an invalid NaN/Infinity literal.
+                json.dump(payload, handle, allow_nan=False)
             os.replace(tmp_name, path)
         except BaseException:
             self._discard(Path(tmp_name))

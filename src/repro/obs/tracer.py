@@ -214,6 +214,43 @@ class NullTracer(Tracer):
 NULL_TRACER = NullTracer()
 
 
+class MultiTracer(Tracer):
+    """Fans every event out to several tracers.
+
+    Lets one run feed independent consumers — e.g. a caller's export
+    tracer *and* a :class:`repro.check.ConformanceChecker` — without the
+    components knowing.  The timestamp is stamped once here so every
+    child records the identical ``ts`` even if their clocks drift.
+    """
+
+    def __init__(self, tracers: Iterable[Tracer]):
+        super().__init__(sink=ListSink())
+        self.tracers: List[Tracer] = list(tracers)
+        self.enabled = any(t.enabled for t in self.tracers)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        super().bind_clock(clock)
+        for tracer in self.tracers:
+            tracer.bind_clock(clock)
+
+    def emit(self, kind: str, ts: Optional[float] = None, **args: object) -> None:
+        stamped = self.clock() if ts is None else ts
+        for tracer in self.tracers:
+            if tracer.enabled:
+                tracer.emit(kind, ts=stamped, **args)
+
+    def events(self) -> List[TraceEvent]:
+        """Events of the first event-retaining child (they see the same)."""
+        for tracer in self.tracers:
+            if tracer.num_events:
+                return tracer.events()
+        return []
+
+    @property
+    def num_events(self) -> int:
+        return max((t.num_events for t in self.tracers), default=0)
+
+
 def filter_events(events: Iterable[TraceEvent], kind: str) -> List[TraceEvent]:
     """Events of one kind, in emission order."""
     return [e for e in events if e.kind == kind]

@@ -105,6 +105,15 @@ class SimResult:
 class GPUSimulator:
     """Runs one :class:`~repro.sim.kernel.Application` under one policy."""
 
+    #: Component factories, overridable for differential validation
+    #: (:mod:`repro.check.reference` swaps in naive reference
+    #: implementations) and for seeding deliberate bugs in conformance
+    #: tests.  Production code never overrides these.
+    queue_factory = EventQueue
+    smx_factory = SMX
+    gmu_factory = GMU
+    memory_factory = MemorySystem
+
     def __init__(
         self,
         config: Optional[GPUConfig] = None,
@@ -167,14 +176,14 @@ class GPUSimulator:
 
     def _reset(self) -> None:
         cfg = self.config
-        self.queue = EventQueue()
+        self.queue = self.queue_factory()
         self.tracer.bind_clock(lambda: self.queue.now)
-        self.smxs = [SMX(i, cfg) for i in range(cfg.num_smx)]
-        self.gmu = GMU(cfg, tracer=self.tracer)
+        self.smxs = [self.smx_factory(i, cfg) for i in range(cfg.num_smx)]
+        self.gmu = self.gmu_factory(cfg, tracer=self.tracer)
         self.launch_unit = LaunchUnit(
             cfg.launch, self.queue, self._on_kernel_arrival, tracer=self.tracer
         )
-        self.memory = MemorySystem(
+        self.memory = self.memory_factory(
             cfg.memory,
             max_lines_per_cta=self.max_lines_per_cta,
             num_smx=cfg.num_smx,
@@ -437,6 +446,9 @@ class GPUSimulator:
                 smx=smx.index,
                 is_child=cta.is_child,
                 warps=cta.num_warps,
+                threads=cta.num_threads,
+                regs=cta.regs,
+                shmem=cta.shmem,
             )
         if cta.is_child:
             self.metrics.on_cta_started(now)
@@ -634,7 +646,7 @@ class GPUSimulator:
         if finished:
             progressed = True
             for cta in finished:
-                self._detach_cta(cta, now)
+                self._detach_cta(cta, smx, now)
             self._record_state()
             for cta in finished:
                 self._on_cta_compute_done(cta, now)
@@ -649,7 +661,7 @@ class GPUSimulator:
                     max(when, now + 1e-3), lambda s=smx: self._on_smx_event(s)
                 )
 
-    def _detach_cta(self, cta: CTAInstance, now: float) -> None:
+    def _detach_cta(self, cta: CTAInstance, smx: SMX, now: float) -> None:
         if cta.is_child:
             self._res_child_ctas -= 1
         else:
@@ -665,6 +677,7 @@ class GPUSimulator:
                 ts=now,
                 kernel_id=cta.kernel.kernel_id,
                 cta_index=cta.cta_index,
+                smx=smx.index,
                 is_child=cta.is_child,
                 exec_time=now - cta.dispatch_time,
             )
@@ -697,6 +710,7 @@ class GPUSimulator:
                     ts=now,
                     kernel_id=kernel.kernel_id,
                     kernel=kernel.spec.name,
+                    stream=kernel.stream_id,
                 )
             self.gmu.on_kernel_suspended(kernel)
             self._dispatch()
@@ -718,6 +732,9 @@ class GPUSimulator:
                 kernel_id=kernel.kernel_id,
                 kernel=kernel.spec.name,
                 is_child=kernel.is_child,
+                stream=kernel.stream_id,
+                via_dtbl=kernel.via_dtbl,
+                suspended=kernel.hwq_released and not kernel.via_dtbl,
             )
         if kernel.via_dtbl:
             if kernel in self._dtbl_pending:

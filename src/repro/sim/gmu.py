@@ -30,11 +30,25 @@ from repro.sim.instances import KernelInstance, KernelState
 class GMU:
     """Pending-kernel pool and HWQ occupancy tracking."""
 
-    def __init__(self, config: GPUConfig, *, tracer: Tracer = NULL_TRACER):
+    def __init__(
+        self,
+        config: GPUConfig,
+        *,
+        tracer: Tracer = NULL_TRACER,
+        lifo_bind: bool = False,
+        reverse_rr: bool = False,
+    ):
         self.config = config
         #: Observability sink; events are stamped with the tracer's bound
         #: clock (the GMU has no clock of its own).
         self.tracer = tracer
+        #: TEST-ONLY deliberate bugs, used by the conformance suite to
+        #: prove the checker and the golden-trace diff catch ordering
+        #: regressions.  ``lifo_bind`` binds the most recently waiting SWQ
+        #: first (violating FCFS); ``reverse_rr`` scans bound streams in
+        #: reverse round-robin order.  Never set outside tests.
+        self.lifo_bind = lifo_bind
+        self.reverse_rr = reverse_rr
         #: SWQ id -> FIFO of kernels submitted to that stream.
         self._streams: Dict[int, Deque[KernelInstance]] = {}
         #: SWQ ids currently bound to a HWQ (insertion ordered).
@@ -94,7 +108,11 @@ class GMU:
 
     def _bind_waiting_streams(self) -> None:
         while self._wait_order and len(self._bound) < self.config.num_hwq:
-            swq = self._wait_order.popleft()
+            swq = (
+                self._wait_order.pop()
+                if self.lifo_bind
+                else self._wait_order.popleft()
+            )
             queue = self._streams.get(swq)
             if not queue:
                 continue
@@ -127,7 +145,8 @@ class GMU:
         start = self._rr_cursor % n
         streams = self._streams
         executing = KernelState.EXECUTING
-        for offset in range(n):
+        offsets = range(n - 1, -1, -1) if self.reverse_rr else range(n)
+        for offset in offsets:
             index = start + offset
             if index >= n:
                 index -= n

@@ -79,6 +79,7 @@ class LaunchUnit:
                 LAUNCH_BATCH_SUBMIT,
                 ts=now,
                 kernels=len(kernels),
+                kernel_ids=[k.kernel_id for k in kernels],
                 busy_slots=self._busy_slots,
                 backlog=len(self._waiting),
             )
@@ -118,6 +119,7 @@ class LaunchUnit:
                 LAUNCH_BATCH_ARRIVE,
                 ts=self.queue.now,
                 kernels=len(kernels),
+                kernel_ids=[k.kernel_id for k in kernels],
                 busy_slots=self._busy_slots,
                 backlog=len(self._waiting),
             )

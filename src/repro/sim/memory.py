@@ -110,6 +110,10 @@ class SetAssociativeCache:
 class MemorySystem:
     """The shared L2 (plus optional per-SMX L1s) and the stall-time model."""
 
+    #: Cache implementation; overridable so :mod:`repro.check` can swap in
+    #: a naive reference LRU for differential validation.
+    cache_cls = SetAssociativeCache
+
     def __init__(
         self,
         config: MemoryConfig,
@@ -120,12 +124,12 @@ class MemorySystem:
         if max_lines_per_cta <= 0:
             raise ConfigError("max_lines_per_cta must be positive")
         self.config = config
-        self.l2 = SetAssociativeCache(config.l2)
+        self.l2 = self.cache_cls(config.l2)
         self.l1s: List[SetAssociativeCache] = []
         if config.l1_enabled:
             if num_smx <= 0:
                 raise ConfigError("l1_enabled requires num_smx > 0")
-            self.l1s = [SetAssociativeCache(config.l1) for _ in range(num_smx)]
+            self.l1s = [self.cache_cls(config.l1) for _ in range(num_smx)]
         self.dram = None
         if config.dram_peak_lines_per_cycle is not None:
             self.dram = DramBandwidthModel(

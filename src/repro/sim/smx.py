@@ -183,3 +183,48 @@ class SMX:
     def snapshot(self) -> Tuple[int, int, int, int]:
         """(ctas, warps, regs, shmem) currently in use."""
         return (len(self.resident), self.used_warps, self.used_regs, self.used_shmem)
+
+    # ------------------------------------------------------------------
+    # Conformance
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> List[str]:
+        """Internal-consistency audit used by :mod:`repro.check`.
+
+        Verifies that the incrementally maintained resource counters and
+        demand sum match a from-scratch recomputation over the resident
+        CTAs, and that residency respects the configured caps.  Returns a
+        list of human-readable violation messages (empty when healthy).
+        """
+        problems: List[str] = []
+        cfg = self.config
+        sums = {
+            "used_threads": sum(c.num_threads for c in self.resident),
+            "used_warps": sum(c.num_warps for c in self.resident),
+            "used_regs": sum(c.regs for c in self.resident),
+            "used_shmem": sum(c.shmem for c in self.resident),
+        }
+        for name, expected in sums.items():
+            actual = getattr(self, name)
+            if actual != expected:
+                problems.append(
+                    f"SMX {self.index}: {name}={actual} but residents sum "
+                    f"to {expected}"
+                )
+        demand = sum(c.demand for c in self.resident)
+        if abs(self._total_demand - demand) > 1e-6 * max(1.0, demand):
+            problems.append(
+                f"SMX {self.index}: total_demand={self._total_demand} but "
+                f"residents sum to {demand}"
+            )
+        caps = (
+            (len(self.resident), cfg.max_ctas_per_smx, "CTAs"),
+            (self.used_threads, cfg.max_threads_per_smx, "threads"),
+            (self.used_regs, cfg.registers_per_smx, "registers"),
+            (self.used_shmem, cfg.shared_mem_per_smx, "shared memory"),
+        )
+        for used, cap, what in caps:
+            if used > cap:
+                problems.append(
+                    f"SMX {self.index}: {used} {what} resident, cap {cap}"
+                )
+        return problems

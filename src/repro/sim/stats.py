@@ -9,8 +9,53 @@ distributions (Fig. 12).
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
+
+# ---------------------------------------------------------------------------
+# Strict-JSON float handling.
+#
+# ``json.dumps`` happily emits ``NaN``/``Infinity`` literals, which are NOT
+# JSON — any strict parser (and ``json.loads(..., parse_constant=...)``
+# hardening) rejects the stored result.  Derived stats can legitimately be
+# non-finite (a zero-duration run, a degenerate hit rate), so serialization
+# tags them explicitly instead of hoping they never occur:
+# ``float("nan")`` <-> ``{"$float": "nan"}``, ditto ``"inf"`` / ``"-inf"``.
+# ---------------------------------------------------------------------------
+_NONFINITE_DECODE = {
+    "nan": float("nan"),
+    "inf": float("inf"),
+    "-inf": float("-inf"),
+}
+
+
+def encode_json_floats(value):
+    """Recursively replace non-finite floats with strict-JSON-safe tags."""
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        if math.isnan(value):
+            return {"$float": "nan"}
+        return {"$float": "inf" if value > 0 else "-inf"}
+    if isinstance(value, dict):
+        return {key: encode_json_floats(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_json_floats(item) for item in value]
+    return value
+
+
+def decode_json_floats(value):
+    """Inverse of :func:`encode_json_floats` (plain payloads pass through)."""
+    if isinstance(value, dict):
+        if len(value) == 1 and "$float" in value:
+            tag = value["$float"]
+            if tag in _NONFINITE_DECODE:
+                return _NONFINITE_DECODE[tag]
+        return {key: decode_json_floats(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_json_floats(item) for item in value]
+    return value
 
 
 @dataclass
@@ -210,8 +255,10 @@ class SimStats:
         Round-trips every field the experiments and derived metrics read,
         including the private occupancy integrals — ``from_dict`` must
         reproduce ``summary()`` and the figure inputs bit-identically.
+        Non-finite floats are tagged (:func:`encode_json_floats`) so the
+        payload is *strict* JSON end to end.
         """
-        return {
+        return encode_json_floats({
             "trace_interval": self.trace_interval,
             "makespan": self.makespan,
             "child_kernels_launched": self.child_kernels_launched,
@@ -239,11 +286,12 @@ class SimStats:
             "l2_hits": self.l2_hits,
             "l2_misses": self.l2_misses,
             "peak_ccqs_depth": self.peak_ccqs_depth,
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SimStats":
         """Rebuild a finalized stats object saved with :meth:`to_dict`."""
+        payload = decode_json_floats(payload)
         stats = cls(trace_interval=payload["trace_interval"])
         stats.makespan = payload["makespan"]
         stats.child_kernels_launched = payload["child_kernels_launched"]

@@ -1,0 +1,163 @@
+"""Golden-trace corpus tests (``repro.check.golden`` + ``tests/golden/``).
+
+Fast layer: the corpus is complete and well-formed, the file format
+round-trips, version/truncation guards fire, and ``diff_traces`` reports
+first divergences precisely.  One cheap matrix cell is re-simulated and
+diffed against its stored golden — the actual regression gate.
+
+Slow layer: every cell of ``GOLDEN_MATRIX`` is re-simulated under the
+invariant checker and must match its golden bit-for-bit (the same sweep
+``repro check`` runs in CI).
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.check import ConformanceChecker, diff_traces
+from repro.check.golden import (
+    GOLDEN_MATRIX,
+    GOLDEN_VERSION,
+    canonical_events,
+    default_golden_dir,
+    golden_path,
+    load_golden,
+    record_trace,
+    write_golden,
+)
+from repro.errors import HarnessError
+from repro.obs.tracer import TraceEvent
+from repro.sim.config import GPUConfig
+
+EVENTS = [
+    {"ts": 0.0, "kind": "gmu.hwq_bind", "swq": 1, "bound": 1},
+    {"ts": 5.0, "kind": "gmu.hwq_release", "swq": 1, "bound": 0},
+]
+
+
+class TestCorpus:
+    def test_every_matrix_cell_has_a_golden_file(self):
+        directory = default_golden_dir()
+        for benchmark, scheme in GOLDEN_MATRIX:
+            assert golden_path(directory, benchmark, scheme).is_file()
+
+    def test_headers_are_consistent(self):
+        directory = default_golden_dir()
+        for benchmark, scheme in GOLDEN_MATRIX:
+            header, events = load_golden(
+                golden_path(directory, benchmark, scheme)
+            )
+            assert header["golden_version"] == GOLDEN_VERSION
+            assert header["benchmark"] == benchmark
+            assert header["scheme"] == scheme
+            assert header["events"] == len(events) > 0
+            assert header["makespan"] > 0
+
+    def test_golden_events_replay_clean_through_checker(self):
+        """A stored stream re-checked from scratch has zero violations."""
+        directory = default_golden_dir()
+        _, events = load_golden(
+            golden_path(directory, "BFS-citation", "spawn")
+        )
+        checker = ConformanceChecker(GPUConfig())
+        stream = [
+            TraceEvent(
+                e["ts"], e["kind"],
+                {k: v for k, v in e.items() if k not in ("ts", "kind")},
+            )
+            for e in events
+        ]
+        assert checker.check_trace(stream) == []
+        assert checker.finalize() == []
+
+    def test_cheap_cell_matches_golden(self):
+        """Regression gate: re-simulate one cell, diff against the corpus."""
+        benchmark, scheme = "BFS-citation", "flat"
+        checker, result = record_trace(benchmark, scheme)
+        assert checker.violations == []
+        _, expected = load_golden(
+            golden_path(default_golden_dir(), benchmark, scheme)
+        )
+        assert diff_traces(expected, canonical_events(checker.events())) is None
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("bench_name,scheme", GOLDEN_MATRIX)
+    def test_full_matrix_matches_golden(self, bench_name, scheme):
+        checker, result = record_trace(bench_name, scheme)
+        checker.finalize(result)
+        assert checker.violations == []
+        _, expected = load_golden(
+            golden_path(default_golden_dir(), bench_name, scheme)
+        )
+        divergence = diff_traces(expected, canonical_events(checker.events()))
+        assert divergence is None, str(divergence)
+
+
+class TestFormat:
+    def test_write_load_roundtrip(self, tmp_path):
+        path = golden_path(tmp_path, "bench", "spawn:t=40")
+        assert path.name == "bench__spawn-t=40.jsonl.gz"
+        write_golden(
+            path, EVENTS, benchmark="bench", scheme="spawn:t=40",
+            seed=7, makespan=5.0,
+        )
+        header, events = load_golden(path)
+        assert events == EVENTS
+        assert header["seed"] == 7
+        assert header["makespan"] == 5.0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(HarnessError, match="does not exist"):
+            load_golden(tmp_path / "nope.jsonl.gz")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("")
+        with pytest.raises(HarnessError, match="empty"):
+            load_golden(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "old.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"golden_version": 0, "events": 0}) + "\n")
+        with pytest.raises(HarnessError, match="version 0"):
+            load_golden(path)
+
+    def test_truncation_raises(self, tmp_path):
+        path = golden_path(tmp_path, "bench", "spawn")
+        write_golden(path, EVENTS, benchmark="bench", scheme="spawn")
+        lines = gzip.open(path, "rt").read().splitlines()
+        with gzip.open(path, "wt") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(HarnessError, match="truncated"):
+            load_golden(path)
+
+
+class TestDiff:
+    def test_identical_streams(self):
+        assert diff_traces(EVENTS, [dict(e) for e in EVENTS]) is None
+
+    def test_field_divergence(self):
+        mutated = [dict(e) for e in EVENTS]
+        mutated[1]["swq"] = 2
+        mismatch = diff_traces(EVENTS, mutated)
+        assert mismatch.index == 1
+        assert mismatch.fields == ("swq",)
+        report = str(mismatch)
+        assert "first divergence at event #1" in report
+        assert "swq: 1 != 2" in report
+
+    def test_actual_stream_ends_early(self):
+        mismatch = diff_traces(EVENTS, EVENTS[:1])
+        assert mismatch.index == 1
+        assert mismatch.actual is None
+        assert "actual stream ended" in str(mismatch)
+
+    def test_actual_stream_runs_long(self):
+        extra = EVENTS + [{"ts": 9.0, "kind": "x"}]
+        mismatch = diff_traces(EVENTS, extra)
+        assert mismatch.index == 2
+        assert mismatch.expected is None
+        assert "expected stream ended" in str(mismatch)

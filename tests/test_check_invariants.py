@@ -1,0 +1,284 @@
+"""Tests for the runtime invariant checker (``repro.check.invariants``).
+
+Three layers:
+
+* clean end-to-end runs report zero violations (attached directly and via
+  ``Runner(check=True)``),
+* synthetic event streams with hand-planted defects trip the matching
+  invariant,
+* deliberately seeded engine bugs (test-only GMU flags) are caught — the
+  LIFO-bind bug by BOTH the invariant checker and the golden-trace diff,
+  which is the conformance subsystem's acceptance criterion.
+"""
+
+import functools
+
+import pytest
+
+from repro.check import ConformanceChecker, diff_traces
+from repro.check.golden import canonical_events
+from repro.errors import ConformanceError
+from repro.harness.runner import RunConfig, Runner
+from repro.harness.schemes import SchemeSpec, make_policy
+from repro.obs.tracer import (
+    CTA_DISPATCH,
+    CTA_FINISH,
+    HWQ_BIND,
+    HWQ_RELEASE,
+    KERNEL_ARRIVAL,
+    KERNEL_COMPLETE,
+)
+from repro.sim.config import GPUConfig
+from repro.sim.engine import GPUSimulator
+from repro.sim.gmu import GMU
+from repro.sim.smx import SMX
+from repro.workloads import get_benchmark
+
+
+def _checked_run(benchmark, scheme, *, config=None, sim_cls=GPUSimulator):
+    """Simulate one benchmark/scheme cell with a checker attached."""
+    config = config or GPUConfig()
+    bench = get_benchmark(benchmark)
+    policy = make_policy(SchemeSpec.parse(scheme), bench)
+    app = bench.flat(1) if scheme == "flat" else bench.dp(1)
+    checker = ConformanceChecker(config)
+    sim = sim_cls(config=config, policy=policy, tracer=checker)
+    result = sim.run(app)
+    return checker, result
+
+
+class TestCleanRuns:
+    def test_mm_small_spawn_zero_violations(self):
+        checker, result = _checked_run("MM-small", "spawn")
+        checker.finalize(result)
+        assert checker.violations == []
+        assert checker.events_checked > 0
+
+    def test_flat_scheme_zero_violations(self):
+        checker, result = _checked_run("MM-small", "flat")
+        checker.finalize(result)
+        assert checker.violations == []
+
+    def test_finalize_accepts_simresult_or_stats(self):
+        checker, result = _checked_run("MM-small", "spawn")
+        assert checker.finalize(result) == []
+        other, result2 = _checked_run("MM-small", "spawn")
+        assert other.finalize(result2.stats) == []
+
+    def test_runner_check_flag(self):
+        result = Runner().run(
+            RunConfig(benchmark="MM-small", scheme="spawn"), check=True
+        )
+        assert result.makespan > 0
+
+    def test_stats_tampering_is_caught(self):
+        checker, result = _checked_run("MM-small", "spawn")
+        result.stats.child_kernels_launched += 1
+        checker.finalize(result)
+        assert any(v.invariant == "stats" for v in checker.violations)
+
+    def test_raise_if_violations(self):
+        checker, result = _checked_run("MM-small", "spawn")
+        checker.raise_if_violations()  # clean: no exception
+        result.stats.makespan += 1.0
+        checker.finalize(result)
+        with pytest.raises(ConformanceError) as excinfo:
+            checker.raise_if_violations()
+        assert excinfo.value.violations
+        assert "makespan" in str(excinfo.value)
+
+
+class TestSyntheticViolations:
+    """Hand-built event streams exercising each invariant's trip wire."""
+
+    def _checker(self, **config_kwargs):
+        return ConformanceChecker(GPUConfig(**config_kwargs))
+
+    def test_clock_regression(self):
+        checker = self._checker()
+        checker.emit(HWQ_BIND, ts=10.0, swq=1, bound=1)
+        checker.emit(HWQ_RELEASE, ts=5.0, swq=1, bound=0)
+        assert [v.invariant for v in checker.violations] == ["clock"]
+
+    def test_harness_events_exempt_from_clock(self):
+        checker = self._checker()
+        checker.emit(HWQ_BIND, ts=10.0, swq=1, bound=1)
+        checker.emit("harness.run_start", ts=0.0)
+        assert checker.violations == []
+
+    def test_double_bind_and_overflow(self):
+        checker = self._checker(num_hwq=2)
+        checker.emit(HWQ_BIND, ts=0.0, swq=1, bound=1)
+        checker.emit(HWQ_BIND, ts=1.0, swq=1, bound=1)
+        assert any("already bound" in v.message for v in checker.violations)
+        checker.emit(HWQ_BIND, ts=2.0, swq=2, bound=2)
+        checker.emit(HWQ_BIND, ts=3.0, swq=3, bound=3)
+        assert any(
+            v.invariant == "hwq" and "concurrently bound" in v.message
+            for v in checker.violations
+        )
+
+    def test_release_without_bind(self):
+        checker = self._checker()
+        checker.emit(HWQ_RELEASE, ts=0.0, swq=7, bound=0)
+        assert any("was not bound" in v.message for v in checker.violations)
+
+    def test_occupancy_counter_mismatch(self):
+        checker = self._checker()
+        checker.emit(HWQ_BIND, ts=0.0, swq=1, bound=5)  # mirror holds 1
+        assert any(
+            v.invariant == "hwq" and "reports bound=5" in v.message
+            for v in checker.violations
+        )
+
+    def test_fcfs_bind_order(self):
+        checker = self._checker(num_hwq=1)
+        # Stream 1 binds immediately; streams 2 and 3 must wait.
+        checker.emit(HWQ_BIND, ts=0.0, swq=1, bound=1)
+        checker.emit(
+            KERNEL_ARRIVAL, ts=0.0, kernel_id=1, num_ctas=1, stream=1
+        )
+        checker.emit(
+            KERNEL_ARRIVAL, ts=1.0, kernel_id=2, num_ctas=1, stream=2
+        )
+        checker.emit(
+            KERNEL_ARRIVAL, ts=2.0, kernel_id=3, num_ctas=1, stream=3
+        )
+        checker.emit(HWQ_RELEASE, ts=3.0, swq=1, bound=0)
+        # Binding stream 3 jumps the queue: stream 2 waited longer.
+        checker.emit(HWQ_BIND, ts=3.0, swq=3, bound=1)
+        assert any(v.invariant == "fcfs" for v in checker.violations)
+
+    def test_duplicate_arrival(self):
+        checker = self._checker()
+        for ts in (0.0, 1.0):
+            checker.emit(
+                KERNEL_ARRIVAL, ts=ts, kernel_id=9, num_ctas=1, stream=1
+            )
+        assert any("arrived twice" in v.message for v in checker.violations)
+
+    def test_cta_conservation(self):
+        checker = self._checker()
+        checker.emit(
+            CTA_FINISH, ts=0.0, kernel_id=1, cta_index=0, smx=0, exec_time=1.0
+        )
+        assert any(
+            "finished without being dispatched" in v.message
+            for v in checker.violations
+        )
+
+    def test_cta_double_dispatch(self):
+        checker = self._checker()
+        checker.emit(
+            KERNEL_ARRIVAL, ts=0.0, kernel_id=1, num_ctas=2, stream=1
+        )
+        for ts in (1.0, 2.0):
+            checker.emit(
+                CTA_DISPATCH, ts=ts, kernel_id=1, cta_index=0, smx=0,
+                is_child=False, warps=1, threads=32, regs=32, shmem=0,
+            )
+        assert any(
+            "dispatched twice" in v.message for v in checker.violations
+        )
+
+    def test_residency_cap(self):
+        checker = self._checker()
+        cap = GPUConfig().max_threads_per_smx
+        checker.emit(
+            KERNEL_ARRIVAL, ts=0.0, kernel_id=1, num_ctas=2, stream=1
+        )
+        for cta in range(2):
+            checker.emit(
+                CTA_DISPATCH, ts=1.0, kernel_id=1, cta_index=cta, smx=0,
+                is_child=False, warps=cap // 32, threads=cap, regs=0, shmem=0,
+            )
+        assert any(v.invariant == "residency" for v in checker.violations)
+
+    def test_completion_with_unfinished_ctas(self):
+        checker = self._checker()
+        checker.emit(
+            KERNEL_ARRIVAL, ts=0.0, kernel_id=1, num_ctas=3, stream=1
+        )
+        checker.emit(
+            KERNEL_COMPLETE, ts=5.0, kernel_id=1, is_child=False, stream=1
+        )
+        assert any(
+            v.invariant == "conservation" and "CTAs finished" in v.message
+            for v in checker.violations
+        )
+
+    def test_finalize_flags_incomplete_kernels(self):
+        checker = self._checker()
+        checker.emit(
+            KERNEL_ARRIVAL, ts=0.0, kernel_id=1, num_ctas=1, stream=1
+        )
+        checker.finalize()
+        assert any("never completed" in v.message for v in checker.violations)
+
+
+class TestSmxSelfAudit:
+    def test_fresh_smx_is_clean(self):
+        assert SMX(0, GPUConfig()).check_invariants() == []
+
+    def test_counter_drift_detected(self):
+        smx = SMX(0, GPUConfig())
+        smx.used_threads += 64  # simulate a lost decrement
+        problems = smx.check_invariants()
+        assert any("used_threads" in p for p in problems)
+
+
+class TestSeededBugs:
+    """The acceptance criterion: a deliberately seeded ordering bug must be
+    caught by BOTH the invariant checker and the golden-trace diff."""
+
+    @staticmethod
+    def _gmu_trace(**gmu_flags):
+        """BFS-citation / baseline-dp with only 2 HWQs, so streams queue."""
+
+        class Sim(GPUSimulator):
+            gmu_factory = functools.partial(GMU, **gmu_flags)
+
+        return _checked_run(
+            "BFS-citation", "baseline-dp",
+            config=GPUConfig(num_hwq=2), sim_cls=Sim,
+        )
+
+    def test_lifo_bind_caught_by_checker_and_diff(self):
+        clean, clean_result = self._gmu_trace()
+        clean.finalize(clean_result)
+        assert clean.violations == []
+
+        buggy, buggy_result = self._gmu_trace(lifo_bind=True)
+        buggy.finalize(buggy_result)
+        # Leg 1: the invariant checker flags the FCFS violation directly.
+        assert any(v.invariant == "fcfs" for v in buggy.violations)
+        # Leg 2: the golden-trace diff reports the first divergence.
+        divergence = diff_traces(
+            canonical_events(clean.events()),
+            canonical_events(buggy.events()),
+        )
+        assert divergence is not None
+        assert divergence.index >= 0
+        report = str(divergence)
+        assert "diverge" in report and str(divergence.index) in report
+
+    @pytest.mark.slow
+    def test_reverse_rr_caught_by_trace_diff(self):
+        """Reversed GMU round-robin passes every local invariant (it is a
+        fairness bug, not a correctness bug) — only the trace diff sees it."""
+
+        def join_trace(**gmu_flags):
+            class Sim(GPUSimulator):
+                gmu_factory = functools.partial(GMU, **gmu_flags)
+
+            return _checked_run("JOIN-uniform", "baseline-dp", sim_cls=Sim)
+
+        clean, _ = join_trace()
+        buggy, buggy_result = join_trace(reverse_rr=True)
+        buggy.finalize(buggy_result)
+        assert not any(v.invariant == "fcfs" for v in buggy.violations)
+        divergence = diff_traces(
+            canonical_events(clean.events()),
+            canonical_events(buggy.events()),
+        )
+        assert divergence is not None

@@ -11,70 +11,14 @@ invariants below must hold for every one of them:
 * occupancy stays within [0, 1].
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.policies import (
-    AlwaysLaunchPolicy,
-    DTBLPolicy,
-    FreeLaunchPolicy,
-    NeverLaunchPolicy,
-    SpawnPolicy,
-    StaticThresholdPolicy,
-)
+from repro.core.policies import SpawnPolicy, StaticThresholdPolicy
 from repro.sim.config import small_debug_gpu
 from repro.sim.engine import GPUSimulator
-from repro.sim.kernel import Application, ChildRequest, KernelSpec
 
-
-@st.composite
-def micro_apps(draw):
-    threads = draw(st.integers(min_value=1, max_value=96))
-    threads_per_cta = draw(st.sampled_from([8, 32, 64]))
-    base_items = draw(st.integers(min_value=0, max_value=8))
-    items = np.full(threads, base_items, dtype=np.int64)
-    requests = {}
-    max_requests = min(6, threads)
-    tids = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=threads - 1),
-            min_size=0,
-            max_size=max_requests,
-            unique=True,
-        )
-    )
-    total_child_items = 0
-    for tid in tids:
-        child_items = draw(st.integers(min_value=1, max_value=200))
-        total_child_items += child_items
-        requests[tid] = ChildRequest(
-            name=f"c{tid}",
-            items=child_items,
-            cta_threads=draw(st.sampled_from([16, 32, 64])),
-            items_per_thread=draw(st.integers(min_value=1, max_value=3)),
-            mem_base=1_000_000 + tid * 65536,
-            at_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
-        )
-    spec = KernelSpec(
-        name="p",
-        threads_per_cta=threads_per_cta,
-        thread_items=items,
-        mem_bases=np.arange(threads, dtype=np.int64) * 128,
-        child_requests=requests,
-    )
-    total = int(items.sum()) + total_child_items
-    return Application(name="micro", kernels=[spec], flat_items=total)
-
-
-POLICIES = [
-    NeverLaunchPolicy,
-    AlwaysLaunchPolicy,
-    lambda: StaticThresholdPolicy(50),
-    SpawnPolicy,
-    lambda: DTBLPolicy(0),
-    FreeLaunchPolicy,
-]
+from tests.strategies import POLICIES, micro_apps
 
 
 @given(app=micro_apps(), policy_idx=st.integers(min_value=0, max_value=5))

@@ -1,0 +1,105 @@
+"""Strict-JSON round-trips for stats payloads with non-finite floats.
+
+``json.dumps`` emits ``NaN``/``Infinity`` literals by default — not JSON.
+The stats serializer tags non-finite floats (``{"$float": "nan"}``) so
+``SimResult`` payloads survive ``allow_nan=False`` serialization (the
+persistent store's contract) and decode back to the same values.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.store import ResultStore
+from repro.sim.engine import SimResult
+from repro.sim.stats import SimStats, decode_json_floats, encode_json_floats
+
+
+def _stats_with(makespan=100.0, launch_times=(), exec_times=()):
+    stats = SimStats()
+    stats.makespan = makespan
+    stats.launch_times = list(launch_times)
+    stats.child_cta_exec_times = list(exec_times)
+    return stats
+
+
+def _roundtrip(stats):
+    payload = json.loads(json.dumps(stats.to_dict(), allow_nan=False))
+    return SimStats.from_dict(payload)
+
+
+class TestEncodeDecode:
+    def test_tags_every_nonfinite(self):
+        encoded = encode_json_floats(
+            {"a": float("nan"), "b": [float("inf"), -float("inf"), 1.5]}
+        )
+        assert encoded == {
+            "a": {"$float": "nan"},
+            "b": [{"$float": "inf"}, {"$float": "-inf"}, 1.5],
+        }
+
+    def test_decode_inverts_encode(self):
+        value = {"x": [1.0, float("inf")], "y": {"z": -float("inf")}}
+        decoded = decode_json_floats(encode_json_floats(value))
+        assert decoded == value
+        nan_back = decode_json_floats({"$float": "nan"})
+        assert isinstance(nan_back, float) and math.isnan(nan_back)
+
+    def test_finite_payloads_untouched(self):
+        value = {"a": 1, "b": [2.5, "three"], "c": None}
+        assert encode_json_floats(value) == value
+        assert decode_json_floats(value) == value
+
+    def test_unknown_tag_passes_through(self):
+        assert decode_json_floats({"$float": "bogus"}) == {"$float": "bogus"}
+
+    def test_tuples_become_lists(self):
+        assert encode_json_floats((1.0, float("nan"))) == [
+            1.0, {"$float": "nan"},
+        ]
+
+
+class TestStatsRoundtrip:
+    def test_nan_makespan(self):
+        back = _roundtrip(_stats_with(makespan=float("nan")))
+        assert math.isnan(back.makespan)
+
+    def test_inf_launch_times(self):
+        stats = _stats_with(launch_times=[1.0, float("inf"), float("nan")])
+        back = _roundtrip(stats)
+        assert back.launch_times[1] == float("inf")
+        assert math.isnan(back.launch_times[2])
+
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=True, allow_infinity=True), max_size=20
+        ),
+        makespan=st.floats(allow_nan=True, allow_infinity=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_float_payload_roundtrips(self, values, makespan):
+        stats = _stats_with(
+            makespan=makespan, launch_times=values, exec_times=values
+        )
+        back = _roundtrip(stats)
+        # Encoded dicts compare equal even for NaN entries (tags are
+        # plain strings), so this covers every field at once.
+        assert back.to_dict() == stats.to_dict()
+
+
+class TestStoreRoundtrip:
+    def test_nonfinite_result_survives_the_store(self, tmp_path):
+        stats = _stats_with(
+            makespan=float("nan"), launch_times=[float("inf")]
+        )
+        result = SimResult("app", "policy", stats)
+        store = ResultStore(tmp_path)
+        path = store.save("ab" + "0" * 62, result)
+        raw = path.read_text()
+        assert "NaN" not in raw and "Infinity" not in raw
+        loaded = store.load("ab" + "0" * 62)
+        assert math.isnan(loaded.stats.makespan)
+        assert loaded.stats.launch_times == [float("inf")]
+        assert loaded.stats.to_dict() == stats.to_dict()
