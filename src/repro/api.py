@@ -57,6 +57,16 @@ from repro.harness.schemes import DP_SCHEMES, SchemeSpec
 from repro.harness.store import ResultStore, default_cache_dir
 from repro.harness.sweep import SweepResult, offline_search, threshold_sweep
 from repro.obs.tracer import Tracer
+from repro.service import (
+    ServiceClosed,
+    ServiceConfig,
+    ServiceJob,
+    ServiceOverloaded,
+    ServiceStats,
+    SimulationService,
+    TrafficRequest,
+    generate_traffic,
+)
 from repro.sim.config import GPUConfig, kepler_k20m, small_debug_gpu
 from repro.sim.engine import SimResult
 
@@ -179,6 +189,67 @@ def run_suite(
     )
 
 
+def serve(
+    *,
+    jobs: int = 2,
+    deadline_ms: Optional[float] = None,
+    inline_threshold_ms: float = 0.0,
+    max_batch: int = 8,
+    max_queue: Optional[int] = None,
+    runner: Optional[Runner] = None,
+    store: Optional[ResultStore] = None,
+    cache_dir=None,
+    policy: Optional[ExecutionPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+    tracer: Optional[Tracer] = None,
+) -> SimulationService:
+    """Build a :class:`SimulationService` (not yet started).
+
+    The async serving entry point::
+
+        async with serve(jobs=2, deadline_ms=500.0) as svc:
+            job = await submit(svc, ("BFS-graph500", "spawn"))
+            [result] = await gather(svc, [job])
+
+    Requests whose predicted queue delay exceeds ``deadline_ms`` are
+    rejected with :class:`ServiceOverloaded` (the predicted-delay
+    evidence is attached as ``.decision``); requests predicted cheaper
+    than ``inline_threshold_ms`` run directly on the event-loop thread.
+    """
+    if runner is None:
+        runner = _make_runner(None, None, store, cache_dir)
+    return SimulationService(
+        runner,
+        config=ServiceConfig(
+            jobs=jobs,
+            deadline_ms=deadline_ms,
+            inline_threshold_ms=inline_threshold_ms,
+            max_batch=max_batch,
+            max_queue=max_queue,
+        ),
+        policy=policy,
+        faults=faults,
+        tracer=tracer,
+    )
+
+
+async def submit(
+    service: SimulationService, entry: ConfigLike, *, seed: int = 1
+) -> ServiceJob:
+    """Submit one request to a running service; returns its job handle."""
+    return await service.submit(entry, seed=seed)
+
+
+async def gather(
+    service: SimulationService,
+    jobs,
+    *,
+    return_exceptions: bool = False,
+):
+    """Await many job handles (input order), like ``asyncio.gather``."""
+    return await service.gather(jobs, return_exceptions=return_exceptions)
+
+
 __all__ = [
     # entry points
     "simulate",
@@ -190,6 +261,16 @@ __all__ = [
     "geometric_mean",
     "default_jobs",
     "default_cache_dir",
+    # serving layer
+    "serve",
+    "submit",
+    "gather",
+    "SimulationService",
+    "ServiceConfig",
+    "ServiceJob",
+    "ServiceStats",
+    "TrafficRequest",
+    "generate_traffic",
     # core types
     "RunConfig",
     "Runner",
@@ -218,4 +299,6 @@ __all__ = [
     "RunFailure",
     "WorkerCrash",
     "TaskTimeout",
+    "ServiceOverloaded",
+    "ServiceClosed",
 ]

@@ -35,7 +35,17 @@ Commands
 ``bench``
     Time the engine on its slowest benchmark/scheme pairs and write
     ``BENCH_<date>.json`` (speedup vs. recorded reference timings plus a
-    bit-identical-makespan check).
+    bit-identical-makespan check).  Exits non-zero when any pair drifts
+    in makespan or regresses past ``--min-speedup``; the report file is
+    written either way so a failing run still leaves evidence.
+``serve [REQUESTS.json]``
+    Drive the in-process simulation service with scripted or synthetic
+    traffic: duplicate requests are coalesced, cache hits are answered
+    without touching the pool, and everything else flows through the
+    SPAWN-style admission controller (admit to the batch queue, run
+    inline, or shed with a predicted-delay reason once ``--deadline-ms``
+    is exceeded).  ``--stats`` prints the admission ledger and cost
+    model; ``--stats-json FILE`` saves it machine-readably.
 
 Examples
 --------
@@ -50,6 +60,8 @@ Examples
     python -m repro check
     python -m repro cache stats
     python -m repro bench --output BENCH.json
+    python -m repro serve --synthetic 100 --deadline-ms 2000 --stats
+    python -m repro serve requests.json --jobs 4 --stats-json stats.json
 """
 
 from __future__ import annotations
@@ -174,6 +186,49 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--output", default=None, metavar="FILE",
                        help="report path (default: BENCH_<YYYYMMDD>.json)")
+    bench.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                       help="fail (exit 1) when any pair's speedup vs. its "
+                            "recorded reference drops below X, e.g. 0.25 "
+                            "(default: drift check only)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the batched async simulation service with scripted traffic",
+    )
+    serve.add_argument(
+        "requests", nargs="?", default=None, metavar="REQUESTS.json",
+        help="scripted request file (JSON array or JSONL of "
+             '{"benchmark", "scheme", "seed"} objects); omit to use '
+             "--synthetic traffic",
+    )
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="pool worker processes per batch (default: 2)")
+    serve.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                       help="shed requests once predicted queue delay exceeds "
+                            "this (default: never shed)")
+    serve.add_argument("--inline-ms", type=float, default=0.0, metavar="MS",
+                       help="run jobs predicted cheaper than this directly on "
+                            "the service thread (default: 0 = never inline)")
+    serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                       help="jobs per pool dispatch (default: 8)")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="hard queue-depth cap; beyond it requests shed "
+                            "(default: unbounded)")
+    serve.add_argument("--synthetic", type=int, default=20, metavar="N",
+                       help="without a request file, generate N seeded "
+                            "requests (default: 20)")
+    serve.add_argument("--traffic-seed", type=int, default=1,
+                       help="seed for --synthetic traffic (default: 1)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result store "
+                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="skip the on-disk cache entirely")
+    serve.add_argument("--stats", action="store_true",
+                       help="print the admission ledger and cost-model "
+                            "snapshot after draining")
+    serve.add_argument("--stats-json", default=None, metavar="FILE",
+                       help="write the service stats as JSON")
 
     plot = sub.add_parser(
         "plot", help="ASCII concurrency timeline for one run (Fig. 6/19 style)"
@@ -547,12 +602,28 @@ def cmd_cache(args, out) -> int:
 
 
 def cmd_bench(args, out) -> int:
-    from repro.harness.bench import run_bench, write_report
+    from repro.harness.bench import (
+        DEFAULT_MIN_SPEEDUP,
+        regressions,
+        run_bench,
+        write_report,
+    )
 
     if args.repeat < 1:
         print(f"error: --repeat must be >= 1, got {args.repeat}", file=sys.stderr)
         return 2
+    min_speedup = (
+        args.min_speedup if args.min_speedup is not None else DEFAULT_MIN_SPEEDUP
+    )
+    if min_speedup <= 0:
+        print(
+            f"error: --min-speedup must be > 0, got {min_speedup}",
+            file=sys.stderr,
+        )
+        return 2
     report = run_bench(repeat=args.repeat, seed=args.seed)
+    # The report is written before any gate: a failing run must still
+    # leave its evidence on disk for CI to archive.
     path = write_report(report, args.output)
     rows = [
         (
@@ -573,6 +644,7 @@ def cmd_bench(args, out) -> int:
         file=out,
     )
     print(f"wrote {path}", file=sys.stderr)
+    failed = False
     drifted = [
         row["pair"]
         for row in report["pairs"]
@@ -583,8 +655,130 @@ def cmd_bench(args, out) -> int:
             f"error: makespan drift vs. reference on: {', '.join(drifted)}",
             file=sys.stderr,
         )
+        failed = True
+    regressed = regressions(report, min_speedup)
+    if regressed:
+        detail = ", ".join(
+            f"{row['pair']} ({row['speedup']}x)" for row in regressed
+        )
+        print(
+            f"error: speedup below {min_speedup}x vs. reference on: {detail}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.errors import ServiceOverloaded
+    from repro.harness.faults import FaultPlan
+    from repro.harness.store import ResultStore
+    from repro.service import (
+        ServiceConfig,
+        SimulationService,
+        generate_traffic,
+        load_requests,
+    )
+
+    if args.requests is not None:
+        requests = load_requests(args.requests)
+        source = args.requests
+    else:
+        if args.synthetic < 1:
+            print(
+                f"error: --synthetic must be >= 1, got {args.synthetic}",
+                file=sys.stderr,
+            )
+            return 2
+        requests = generate_traffic(args.synthetic, seed=args.traffic_seed)
+        source = f"synthetic (seed {args.traffic_seed})"
+    if not requests:
+        print("error: no requests to serve", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        jobs=args.jobs,
+        deadline_ms=args.deadline_ms,
+        inline_threshold_ms=args.inline_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+    )
+    store = None if args.no_store else ResultStore(args.cache_dir)
+    runner = Runner(store=store)
+    faults = FaultPlan.from_env()
+    if faults is not None:
+        print(f"chaos: injecting faults {faults.to_dict()}", file=sys.stderr)
+        if store is not None:
+            runner.store = faults.flaky_store(store)
+
+    async def drive():
+        service = SimulationService(runner, config=config, faults=faults)
+        handles = []
+        now = 0.0
+        async with service:
+            for request in requests:
+                if request.at > now:
+                    await asyncio.sleep(request.at - now)
+                    now = request.at
+                try:
+                    handles.append(
+                        await service.submit(request.config())
+                    )
+                except ServiceOverloaded as exc:
+                    print(f"shed: {exc}", file=sys.stderr)
+            await service.gather(handles, return_exceptions=True)
+        return service.stats()
+
+    stats = asyncio.run(drive())
+    print(
+        f"served {len(requests)} requests from {source}: "
+        f"completed={stats.completed} failed={stats.failed} "
+        f"shed={stats.shed} coalesced={stats.coalesced} "
+        f"cache_hits={stats.cache_hits} inline={stats.inline} "
+        f"batches={stats.batches} lost={stats.lost}",
+        file=sys.stderr,
+    )
+    if args.stats:
+        payload = stats.to_dict()
+        model = payload.pop("model")
+        print(
+            format_table(
+                ["counter", "value"],
+                sorted(payload.items()),
+                title="service admission ledger",
+            ),
+            file=out,
+        )
+        if model:
+            print(file=out)
+            print(
+                format_table(
+                    ["pair", "predicted_s", "samples", "cycles_per_s"],
+                    [
+                        (
+                            pair,
+                            f"{entry['seconds']:.4f}",
+                            entry["samples"],
+                            f"{entry['cycles_per_second']:.0f}"
+                            if entry.get("cycles_per_second")
+                            else "-",
+                        )
+                        for pair, entry in sorted(model.items())
+                    ],
+                    title="cost model snapshot (windowed EWMA)",
+                ),
+                file=out,
+            )
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}", file=sys.stderr)
+    if stats.lost:
+        print(f"error: {stats.lost} submissions lost", file=sys.stderr)
         return 1
-    return 0
+    return 1 if stats.failed else 0
 
 
 def cmd_plot(args, out) -> int:
@@ -638,6 +832,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_cache(args, out)
         if args.command == "bench":
             return cmd_bench(args, out)
+        if args.command == "serve":
+            return cmd_serve(args, out)
         if args.command == "plot":
             return cmd_plot(args, out)
         raise AssertionError(f"unhandled command {args.command}")

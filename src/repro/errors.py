@@ -66,6 +66,27 @@ class ConformanceError(ReproError):
         self.violations = list(violations) if violations is not None else []
 
 
+class ServiceOverloaded(HarnessError):
+    """The simulation service shed this request at admission time.
+
+    The SPAWN-analog rejection of :mod:`repro.service`: the admission
+    controller predicted that the request would wait in the queue longer
+    than the configured deadline (or that the queue is at capacity) and
+    declined it instead of letting it rot.  Carries the full
+    :class:`~repro.service.admission.AdmissionDecision` as ``decision``,
+    so callers can inspect the predicted delay, the deadline it exceeded,
+    and the queue depth at rejection time.
+    """
+
+    def __init__(self, message: str, *, decision=None):
+        super().__init__(message)
+        self.decision = decision
+
+
+class ServiceClosed(HarnessError):
+    """A request was submitted to a service that is shutting down."""
+
+
 class WorkerCrash(RunFailure):
     """A worker process died (or the pool broke) while holding this task."""
 

@@ -94,6 +94,26 @@ def run_bench(
     }
 
 
+#: Default regression gate for ``repro bench``: fail when a pair runs
+#: slower than a quarter of its reference speed.  Deliberately loose —
+#: reference seconds were recorded on one host class and CI machines
+#: vary — but tight enough to catch an accidental O(n^2) in the engine.
+DEFAULT_MIN_SPEEDUP: float = 0.25
+
+
+def regressions(report: Dict, min_speedup: float) -> List[Dict]:
+    """Pairs in ``report`` whose speedup fell below ``min_speedup``.
+
+    Pairs without a recorded reference (no ``speedup`` key) never count
+    as regressed — there is nothing to regress against.
+    """
+    return [
+        row
+        for row in report.get("pairs", [])
+        if row.get("speedup") is not None and row["speedup"] < min_speedup
+    ]
+
+
 def default_output_path(today: Optional[datetime.date] = None) -> Path:
     date = today if today is not None else datetime.date.today()
     return Path(f"BENCH_{date.strftime('%Y%m%d')}.json")

@@ -61,6 +61,18 @@ HARNESS_QUARANTINE = "harness.quarantine"  # a task failed permanently
 HARNESS_POOL_REBUILD = "harness.pool_rebuild"  # a fresh pool replaced a broken one
 HARNESS_SERIAL_FALLBACK = "harness.serial_fallback"  # degraded to in-process
 
+# Simulation service layer (repro.service).  Wall-clock stamped, like the
+# harness kinds: they describe the serving machinery, not the modelled GPU.
+SERVICE_SUBMIT = "service.submit"  # a request entered the service
+SERVICE_COALESCE = "service.coalesce"  # duplicate joined an in-flight job
+SERVICE_CACHE_HIT = "service.cache_hit"  # answered from the result cache
+SERVICE_ADMIT = "service.admit"  # admission controller sent it to the pool
+SERVICE_INLINE = "service.inline"  # small job ran on the event-loop thread
+SERVICE_SHED = "service.shed"  # rejected with ServiceOverloaded
+SERVICE_BATCH = "service.batch"  # one batch dispatched to the pool
+SERVICE_COMPLETE = "service.complete"  # a job resolved successfully
+SERVICE_QUARANTINE = "service.quarantine"  # a job failed past its retries
+
 #: Every kind above, for validation and exporter dispatch.
 ALL_KINDS = frozenset(
     {
@@ -84,6 +96,15 @@ ALL_KINDS = frozenset(
         HARNESS_QUARANTINE,
         HARNESS_POOL_REBUILD,
         HARNESS_SERIAL_FALLBACK,
+        SERVICE_SUBMIT,
+        SERVICE_COALESCE,
+        SERVICE_CACHE_HIT,
+        SERVICE_ADMIT,
+        SERVICE_INLINE,
+        SERVICE_SHED,
+        SERVICE_BATCH,
+        SERVICE_COMPLETE,
+        SERVICE_QUARANTINE,
     }
 )
 

@@ -12,6 +12,12 @@ divergent ad-hoc generators.
   for the ``slow``-marked differential tests.
 * :data:`POLICIES` / :func:`policies` — one factory per launch-policy
   family (every :class:`~repro.core.policies.DecisionKind` is reachable).
+* :func:`job_costs` / :func:`maybe_costs` / :func:`admission_states` —
+  the service-layer admission space: predicted job costs (``None`` is
+  the bootstrap case) and :class:`~repro.service.admission
+  .AdmissionController` instances driven into *reachable* queue states
+  (prior traffic is replayed through the controller's own policy, so no
+  generated state is one the service could not actually be in).
 """
 
 import numpy as np
@@ -25,6 +31,7 @@ from repro.core.policies import (
     SpawnPolicy,
     StaticThresholdPolicy,
 )
+from repro.service.admission import ADMIT, AdmissionController, CostModel
 from repro.sim.kernel import Application, ChildRequest, KernelSpec
 
 #: One factory per policy family.  Index into this with a drawn integer
@@ -88,6 +95,53 @@ def micro_apps(draw):
     )
     total = int(items.sum()) + total_child_items
     return Application(name="micro", kernels=[spec], flat_items=total)
+
+
+def job_costs(max_value: float = 60.0):
+    """Predicted per-job seconds: finite, non-negative."""
+    return st.floats(
+        min_value=0.0, max_value=max_value,
+        allow_nan=False, allow_infinity=False,
+    )
+
+
+def maybe_costs(max_value: float = 60.0):
+    """A predicted cost or ``None`` (the bootstrap no-data case)."""
+    return st.one_of(st.none(), job_costs(max_value))
+
+
+@st.composite
+def admission_states(draw, max_prior_traffic: int = 16):
+    """An :class:`AdmissionController` in a reachable queue state.
+
+    Draws the controller's tunables, then replays drawn prior traffic
+    through its *own* policy (only costs it actually admits join the
+    backlog), so every generated state is one the service could reach.
+    """
+    controller = AdmissionController(
+        CostModel(),
+        workers=draw(st.integers(min_value=1, max_value=8)),
+        deadline_s=draw(
+            st.one_of(
+                st.none(),
+                st.floats(
+                    min_value=0.001, max_value=120.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            )
+        ),
+        inline_threshold_s=draw(job_costs(5.0)),
+        max_queue=draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=16))
+        ),
+    )
+    for cost in draw(
+        st.lists(maybe_costs(), max_size=max_prior_traffic)
+    ):
+        decision = controller.classify(cost)
+        if decision.verdict == ADMIT:
+            controller.on_admitted(decision)
+    return controller
 
 
 @st.composite

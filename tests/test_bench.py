@@ -4,8 +4,10 @@ import json
 
 from repro.harness.bench import (
     BENCH_PAIRS,
+    DEFAULT_MIN_SPEEDUP,
     REFERENCE,
     default_output_path,
+    regressions,
     run_bench,
     write_report,
 )
@@ -34,6 +36,35 @@ class TestRunBench:
     def test_default_pairs_have_references(self):
         for name, scheme in BENCH_PAIRS:
             assert f"{name}/{scheme}" in REFERENCE
+
+
+class TestRegressions:
+    REPORT = {
+        "pairs": [
+            {"pair": "a/spawn", "speedup": 0.2},
+            {"pair": "b/spawn", "speedup": 1.4},
+            {"pair": "c/spawn", "seconds": 1.0},  # no reference recorded
+        ]
+    }
+
+    def test_flags_only_pairs_below_threshold(self):
+        regressed = regressions(self.REPORT, 0.5)
+        assert [row["pair"] for row in regressed] == ["a/spawn"]
+
+    def test_unreferenced_pairs_never_regress(self):
+        assert regressions(self.REPORT, 100.0) != self.REPORT["pairs"]
+        assert all(
+            row["pair"] != "c/spawn"
+            for row in regressions(self.REPORT, 100.0)
+        )
+
+    def test_empty_report_is_clean(self):
+        assert regressions({}, DEFAULT_MIN_SPEEDUP) == []
+
+    def test_default_threshold_is_loose_but_positive(self):
+        # Host-variance tolerant: a pair must lose >4x vs. its reference
+        # before the default gate fires.
+        assert 0.0 < DEFAULT_MIN_SPEEDUP <= 0.5
 
 
 class TestReport:

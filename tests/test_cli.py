@@ -151,6 +151,7 @@ class TestSuiteCacheBench:
         args = build_parser().parse_args(["bench"])
         assert args.repeat == 3
         assert args.output is None
+        assert args.min_speedup is None  # None -> DEFAULT_MIN_SPEEDUP
 
     def test_suite_rejects_unknown_experiment(self):
         code, _ = run_cli("suite", "--experiments", "fig99", "--jobs", "1",
@@ -178,3 +179,144 @@ class TestSuiteCacheBench:
         code, text = run_cli("cache", "clear", "--cache-dir", str(tmp_path))
         assert code == 0
         assert "removed 0 entries" in text
+
+
+def canned_bench_report(*, speedup=2.0, identical=True):
+    """A minimal run_bench-shaped report for exercising the CLI gate."""
+    return {
+        "repeat": 1,
+        "seed": 1,
+        "pairs": [
+            {
+                "pair": "SA-thaliana/spawn",
+                "seconds": 1.0,
+                "makespan": 42.0,
+                "reference_seconds": 2.0,
+                "speedup": speedup,
+                "makespan_identical": identical,
+            }
+        ],
+    }
+
+
+class TestBenchGate:
+    """`repro bench` must fail loudly on regression — but always emit
+    the report file first, so a failing CI run still leaves evidence."""
+
+    def fake_bench(self, monkeypatch, **kwargs):
+        import repro.harness.bench as bench
+
+        monkeypatch.setattr(
+            bench, "run_bench",
+            lambda *, repeat, seed: canned_bench_report(**kwargs),
+        )
+
+    def test_healthy_run_exits_zero(self, monkeypatch, tmp_path):
+        self.fake_bench(monkeypatch, speedup=2.0)
+        out = tmp_path / "BENCH.json"
+        code, text = run_cli("bench", "--output", str(out))
+        assert code == 0
+        assert out.is_file()
+        assert "SA-thaliana/spawn" in text
+
+    def test_speedup_regression_exits_nonzero_but_writes_report(
+        self, monkeypatch, tmp_path
+    ):
+        self.fake_bench(monkeypatch, speedup=0.1)  # below DEFAULT_MIN_SPEEDUP
+        out = tmp_path / "BENCH.json"
+        code, _ = run_cli("bench", "--output", str(out))
+        assert code == 1
+        # The evidence file exists despite the failure.
+        assert json.loads(out.read_text())["pairs"][0]["speedup"] == 0.1
+
+    def test_min_speedup_flag_tightens_the_gate(self, monkeypatch, tmp_path):
+        self.fake_bench(monkeypatch, speedup=2.0)
+        out = tmp_path / "BENCH.json"
+        code, _ = run_cli(
+            "bench", "--output", str(out), "--min-speedup", "3.0"
+        )
+        assert code == 1
+        assert out.is_file()
+        code, _ = run_cli(
+            "bench", "--output", str(out), "--min-speedup", "1.5"
+        )
+        assert code == 0
+
+    def test_makespan_drift_still_fails(self, monkeypatch, tmp_path):
+        self.fake_bench(monkeypatch, speedup=2.0, identical=False)
+        out = tmp_path / "BENCH.json"
+        code, _ = run_cli("bench", "--output", str(out))
+        assert code == 1
+        assert out.is_file()
+
+    def test_rejects_nonpositive_min_speedup(self):
+        code, _ = run_cli("bench", "--min-speedup", "0")
+        assert code == 2
+
+    def test_rejects_bad_repeat(self):
+        code, _ = run_cli("bench", "--repeat", "0")
+        assert code == 2
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.requests is None
+        assert args.jobs == 2
+        assert args.deadline_ms is None
+        assert args.inline_ms == 0.0
+        assert args.max_batch == 8
+        assert args.synthetic == 20
+        assert not args.stats
+
+    def test_serve_synthetic_traffic(self, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        code, text = run_cli(
+            "serve", "--synthetic", "8", "--no-store",
+            "--stats", "--stats-json", str(stats_path),
+        )
+        assert code == 0
+        assert "service admission ledger" in text
+        assert "cost model snapshot" in text
+        stats = json.loads(stats_path.read_text())
+        assert stats["submitted"] == 8
+        assert stats["lost"] == 0
+        assert stats["failed"] == 0
+        assert stats["completed"] == 8
+
+    def test_serve_scripted_request_file(self, tmp_path):
+        requests = [
+            {"benchmark": "GC-citation", "scheme": "flat"},
+            {"benchmark": "GC-citation", "scheme": "flat"},  # coalesces
+            {"benchmark": "MM-small", "scheme": "spawn", "seed": 2},
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(requests))
+        stats_path = tmp_path / "stats.json"
+        code, _ = run_cli(
+            "serve", str(path), "--no-store", "--jobs", "1",
+            "--stats-json", str(stats_path),
+        )
+        assert code == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["submitted"] == 3
+        assert stats["coalesced"] == 1
+        assert stats["lost"] == 0
+
+    def test_serve_rejects_empty_traffic(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        code, _ = run_cli("serve", str(path), "--no-store")
+        assert code == 2
+
+    def test_serve_rejects_bad_synthetic_count(self):
+        code, _ = run_cli("serve", "--synthetic", "0", "--no-store")
+        assert code == 2
+
+    def test_serve_unknown_benchmark_fails_cleanly(self, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(
+            json.dumps([{"benchmark": "nope", "scheme": "flat"}])
+        )
+        code, _ = run_cli("serve", str(path), "--no-store")
+        assert code == 1  # ReproError -> clean CLI error, no traceback

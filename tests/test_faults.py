@@ -5,8 +5,15 @@ injected (worker kills, hangs past the timeout, torn payloads, flaky
 store IO) a parallel suite still completes, and every retried task's
 result is **bit-identical** to a fault-free serial run.  A permanently
 failing run is quarantined and reported without aborting the others.
+
+``TestServiceChaos`` lifts the same guarantees one layer up: the same
+fault plans injected *under live service traffic* must leave the
+:class:`~repro.service.SimulationService` standing — quarantined jobs
+fail their own handles and show up in the stats ledger, everything else
+completes bit-identically, and no submission is ever lost.
 """
 
+import asyncio
 import json
 
 import pytest
@@ -22,6 +29,7 @@ from repro.harness.parallel import (
 )
 from repro.harness.runner import RunConfig, Runner
 from repro.harness.store import ResultStore
+from repro.service import ServiceConfig, SimulationService
 
 #: The two cheapest end-to-end benchmarks.
 FAST = "GC-citation"
@@ -273,3 +281,147 @@ class TestResume:
         assert report.resumed == len(CONFIGS)
         assert report.outcomes == []
         assert report.ok
+
+
+def serve_chaos(configs, *, faults, runner=None, policy=None, jobs=2):
+    """Burst ``configs`` through one faulted service; (stats, results)."""
+
+    async def _drive():
+        service = SimulationService(
+            runner if runner is not None else Runner(),
+            config=ServiceConfig(jobs=jobs),
+            policy=policy,
+            faults=faults,
+        )
+        async with service:
+            handles = [await service.submit(config) for config in configs]
+            results = await service.gather(handles, return_exceptions=True)
+        return service.stats(), results
+
+    return asyncio.run(_drive())
+
+
+class TestServiceChaos:
+    """The execution layer's chaos guarantees hold behind the service."""
+
+    def test_worker_kill_under_live_traffic_is_retried(self, baseline):
+        stats, results = serve_chaos(
+            CONFIGS, faults=FaultPlan(kill_on_dispatch=0)
+        )
+        assert stats.worker_crashes >= 1
+        assert stats.retries >= 1
+        # The kill cost a retry inside the batch, never a client error.
+        assert stats.failed == 0
+        assert stats.completed == len(CONFIGS)
+        assert stats.lost == 0
+        assert [r.summary() for r in results] == baseline
+
+    def test_permanent_failure_quarantines_only_its_own_handle(
+        self, baseline
+    ):
+        stats, results = serve_chaos(
+            CONFIGS,
+            faults=FaultPlan(fail_benchmark=FAST, fail_scheme="spawn"),
+            policy=ExecutionPolicy(max_retries=1),
+        )
+        # The ledger reports the quarantined job...
+        assert stats.quarantined == 1
+        assert stats.failed == 1
+        assert stats.completed == len(CONFIGS) - 1
+        assert stats.lost == 0
+        # ...and only the doomed handle failed, with the typed error.
+        doomed = [
+            isinstance(result, RunFailure) for result in results
+        ]
+        assert doomed == [
+            c.benchmark == FAST and c.scheme == "spawn" for c in CONFIGS
+        ]
+        [failure] = [r for r in results if isinstance(r, RunFailure)]
+        assert failure.config.scheme == "spawn"
+        survivors = [
+            result.summary()
+            for result in results
+            if not isinstance(result, RunFailure)
+        ]
+        expected = [
+            summary
+            for config, summary in zip(CONFIGS, baseline)
+            if not (config.benchmark == FAST and config.scheme == "spawn")
+        ]
+        assert survivors == expected
+
+    def test_flaky_store_under_live_traffic(self, baseline, tmp_path):
+        plan = FaultPlan(store_save_errors=10, store_load_errors=10)
+        runner = Runner(store=plan.flaky_store(ResultStore(tmp_path)))
+        stats, results = serve_chaos(CONFIGS, faults=plan, runner=runner)
+        assert stats.failed == 0
+        assert stats.lost == 0
+        assert [r.summary() for r in results] == baseline
+        # Every disk write failed; the service never noticed.
+        assert ResultStore(tmp_path).stats().entries == 0
+
+    def test_combined_kill_and_flaky_store_completes_the_rest(
+        self, baseline, tmp_path
+    ):
+        """The ISSUE's chaos variant: worker kill + torn store IO +
+        a permanently failing pair, all under one live service."""
+        plan = FaultPlan(
+            kill_on_dispatch=0,
+            fail_benchmark=FAST,
+            fail_scheme="spawn",
+            store_save_errors=10,
+            store_load_errors=10,
+        )
+        runner = Runner(store=plan.flaky_store(ResultStore(tmp_path)))
+        stats, results = serve_chaos(
+            CONFIGS,
+            faults=plan,
+            runner=runner,
+            policy=ExecutionPolicy(max_retries=1),
+        )
+        assert stats.worker_crashes >= 1
+        assert stats.quarantined == 1
+        assert stats.failed == 1
+        assert stats.completed == len(CONFIGS) - 1
+        assert stats.lost == 0
+        survivors = [
+            result.summary()
+            for result in results
+            if not isinstance(result, RunFailure)
+        ]
+        expected = [
+            summary
+            for config, summary in zip(CONFIGS, baseline)
+            if not (config.benchmark == FAST and config.scheme == "spawn")
+        ]
+        assert survivors == expected
+
+    def test_repro_serve_honours_env_fault_plan(self, monkeypatch, tmp_path):
+        """`REPRO_FAULTS` reaches the service through the CLI, and a
+        faulted serve still drains clean (exit 0, nothing lost)."""
+        from repro.cli import main
+
+        monkeypatch.setenv(
+            ENV_FAULTS,
+            json.dumps(
+                {
+                    "kill_on_dispatch": 0,
+                    "store_save_errors": 5,
+                    "store_load_errors": 5,
+                }
+            ),
+        )
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            [
+                "serve", "--synthetic", "6", "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--stats-json", str(stats_path),
+            ]
+        )
+        assert code == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["submitted"] == 6
+        assert stats["failed"] == 0
+        assert stats["lost"] == 0
+        assert stats["worker_crashes"] >= 1

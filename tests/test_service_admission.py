@@ -1,0 +1,225 @@
+"""Property-based tests for the service's SPAWN-style admission controller.
+
+The three invariants the ISSUE pins down, checked over the whole
+reachable state space (``tests/strategies.py::admission_states`` replays
+prior traffic through the controller's own policy, so no tested state is
+unreachable):
+
+* the verdict is monotonic in predicted cost — growing cost can move a
+  request out of the inline branch, never back into it, and above the
+  threshold the verdict does not depend on the request's own cost at all
+  (shedding is a property of the *queue*, as the paper's ``n + x``
+  capacity check is);
+* an empty queue never sheds;
+* the inline branch fires iff the prediction is at or below the
+  small-job threshold — and never on bootstrap, which (like Algorithm 1
+  lines 2-3) admits unconditionally.
+
+Plus the supporting algebra: backlog bookkeeping never goes negative and
+returns to zero, the windowed EWMA stays inside the convex hull of its
+observations, and every shed decision carries evidence that actually
+justifies it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HarnessError
+from repro.service.admission import (
+    ADMIT,
+    INLINE,
+    SHED,
+    AdmissionController,
+    AdmissionDecision,
+    CostModel,
+    WindowedEWMA,
+)
+from tests.strategies import admission_states, job_costs, maybe_costs
+
+
+# ----------------------------------------------------------------------
+# The ISSUE's three controller invariants
+# ----------------------------------------------------------------------
+@given(admission_states(), job_costs(), job_costs())
+def test_verdict_is_monotonic_in_predicted_cost(controller, a, b):
+    lo, hi = sorted((a, b))
+    lo_verdict = controller.classify(lo).verdict
+    hi_verdict = controller.classify(hi).verdict
+    # Growing cost can only leave the inline branch, never re-enter it.
+    if hi_verdict == INLINE:
+        assert lo_verdict == INLINE
+    # Above the threshold the verdict is cost-independent: any two
+    # non-inline costs get the same answer from the same queue state.
+    if lo_verdict != INLINE and hi_verdict != INLINE:
+        assert lo_verdict == hi_verdict
+
+
+@given(admission_states(max_prior_traffic=0), maybe_costs())
+def test_empty_queue_never_sheds(controller, cost):
+    assert controller.queue_depth == 0
+    assert controller.backlog_seconds == 0.0
+    assert controller.classify(cost).verdict != SHED
+
+
+@given(admission_states(), job_costs())
+def test_inline_iff_at_or_below_threshold(controller, cost):
+    decision = controller.classify(cost)
+    if cost <= controller.inline_threshold_s:
+        assert decision.verdict == INLINE
+    else:
+        assert decision.verdict != INLINE
+
+
+@given(admission_states())
+def test_bootstrap_always_admits(controller):
+    decision = controller.classify(None)
+    assert decision.verdict == ADMIT
+    assert decision.bootstrap
+    assert decision.predicted_cost_s is None
+
+
+# ----------------------------------------------------------------------
+# Evidence: a shed verdict must be able to justify itself
+# ----------------------------------------------------------------------
+@given(admission_states(), job_costs())
+def test_shed_decisions_carry_their_justification(controller, cost):
+    decision = controller.classify(cost)
+    if decision.verdict != SHED:
+        return
+    over_deadline = (
+        decision.deadline_s is not None
+        and decision.predicted_delay_s > decision.deadline_s
+    )
+    over_depth = (
+        controller.max_queue is not None
+        and decision.queue_depth >= controller.max_queue
+    )
+    assert over_deadline or over_depth
+    evidence = decision.evidence()
+    assert evidence["verdict"] == SHED
+    assert evidence["predicted_delay_s"] == decision.predicted_delay_s
+
+
+@given(admission_states(), maybe_costs())
+def test_decisions_record_live_queue_state(controller, cost):
+    decision = controller.classify(cost)
+    assert decision.queue_depth == controller.queue_depth
+    assert decision.predicted_delay_s == pytest.approx(
+        controller.backlog_seconds / controller.workers
+    )
+
+
+# ----------------------------------------------------------------------
+# Backlog bookkeeping
+# ----------------------------------------------------------------------
+@given(st.lists(maybe_costs(), min_size=1, max_size=24))
+def test_backlog_is_conserved_and_never_negative(costs):
+    controller = AdmissionController(CostModel(), workers=2)
+    admitted = []
+    for cost in costs:
+        decision = controller.classify(cost)
+        if decision.verdict == ADMIT:
+            controller.on_admitted(decision)
+            admitted.append(decision)
+        assert controller.backlog_seconds >= 0.0
+        assert controller.queue_depth == len(admitted)
+    for decision in admitted:
+        controller.on_finished(decision)
+        assert controller.backlog_seconds >= 0.0
+        assert controller.queue_depth >= 0
+    # Every admission matched by a completion: the ledger drains clean.
+    assert controller.queue_depth == 0
+    assert controller.backlog_seconds == pytest.approx(0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# The windowed EWMA under the controller
+# ----------------------------------------------------------------------
+@given(st.lists(job_costs(), min_size=1, max_size=64))
+def test_ewma_stays_inside_the_convex_hull(samples):
+    ewma = WindowedEWMA(alpha=0.3, window=8)
+    # Up to float rounding: alpha*x + (1-alpha)*y of two in-hull values
+    # can land an ulp outside it (e.g. 0.3*1.5 + 0.7*1.5 < 1.5).
+    tol = 1e-9 * max(1.0, max(samples))
+    for sample in samples:
+        ewma.observe(sample)
+        assert min(samples) - tol <= ewma.value <= max(samples) + tol
+    assert ewma.count == min(len(samples), 8)
+
+
+@given(
+    st.lists(job_costs(), min_size=1, max_size=32),
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+)
+def test_cost_model_prediction_is_deterministic(samples, alpha):
+    a = CostModel(alpha=alpha)
+    b = CostModel(alpha=alpha)
+    for sample in samples:
+        a.observe("BFS-graph500", "spawn", sample)
+        b.observe("BFS-graph500", "spawn", sample)
+    assert a.predict("BFS-graph500", "spawn") == b.predict(
+        "BFS-graph500", "spawn"
+    )
+    assert a.predict("BFS-graph500", "flat") is None  # other pairs untouched
+    assert a.snapshot() == b.snapshot()
+
+
+@settings(max_examples=25)
+@given(st.lists(job_costs(1000.0), min_size=40, max_size=80))
+def test_windowed_ewma_forgets_ancient_history(samples):
+    """After ``window`` identical fresh observations the estimate is
+    dominated by them, not by the pre-window past."""
+    ewma = WindowedEWMA(alpha=0.5, window=8)
+    for sample in samples:
+        ewma.observe(sample)
+    for _ in range(32):
+        ewma.observe(5.0)
+    assert ewma.value == pytest.approx(5.0, rel=1e-4)
+    assert ewma.count == 8
+
+
+# ----------------------------------------------------------------------
+# Constructor validation (the service rejects nonsense tunables)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"workers": 0},
+        {"deadline_s": 0.0},
+        {"deadline_s": -1.0},
+        {"inline_threshold_s": -0.1},
+        {"max_queue": 0},
+    ],
+)
+def test_controller_rejects_invalid_tunables(kwargs):
+    with pytest.raises(HarnessError):
+        AdmissionController(CostModel(), **kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"alpha": 0.0}, {"alpha": 1.5}, {"window": 0}]
+)
+def test_ewma_rejects_invalid_tunables(kwargs):
+    with pytest.raises(HarnessError):
+        WindowedEWMA(**kwargs)
+
+
+def test_ewma_rejects_negative_observations():
+    with pytest.raises(HarnessError):
+        WindowedEWMA().observe(-1.0)
+
+
+def test_decision_is_frozen():
+    decision = AdmissionDecision(
+        verdict=ADMIT,
+        bootstrap=True,
+        predicted_cost_s=None,
+        predicted_delay_s=0.0,
+        deadline_s=None,
+        queue_depth=0,
+    )
+    with pytest.raises(AttributeError):
+        decision.verdict = SHED

@@ -1,0 +1,320 @@
+"""Load/soak suite for the batched async simulation service.
+
+The contract under test (ISSUE 5): a 500-request seeded soak must lose
+nothing — ``submitted == completed + failed + shed + in_flight`` with
+``lost == 0`` — must coalesce every duplicate onto a single pool run,
+and every result handed back must be bit-identical to a direct serial
+:meth:`Runner.run` of the same config.  Shedding is exercised by a
+deterministic scenario (primed cost model, tiny deadline) rather than by
+wall-clock racing, so the suite passes identically on any host.
+
+Traffic comes from :func:`repro.service.generate_traffic`, which is a
+pure function of its seed: a soak failure reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceOverloaded
+from repro.harness.runner import RunConfig, Runner
+from repro.service import (
+    ServiceConfig,
+    SimulationService,
+    TrafficRequest,
+    dump_requests,
+    generate_traffic,
+    load_requests,
+)
+
+SOAK_SEED = 42
+SOAK_REQUESTS = 500
+
+
+def drive(requests, *, config=None, runner=None, prime=None):
+    """Burst-submit ``requests`` through one service; return (stats, results).
+
+    Submissions happen back-to-back on the event loop (no awaits on the
+    handles in between), so every duplicate of an un-finished config
+    must coalesce — the scheduler cannot run until the burst yields.
+    ``prime`` is an optional callback run against the service before any
+    traffic (e.g. to seed the cost model deterministically).
+    """
+
+    async def _drive():
+        service = SimulationService(
+            runner if runner is not None else Runner(),
+            config=config,
+        )
+        if prime is not None:
+            prime(service)
+        handles = []
+        shed = []
+        async with service:
+            for request in requests:
+                try:
+                    handles.append(await service.submit(request.config()))
+                except ServiceOverloaded as exc:
+                    shed.append(exc)
+            results = await service.gather(handles)
+        return service.stats(), results, shed
+
+    return asyncio.run(_drive())
+
+
+# ----------------------------------------------------------------------
+# The soak
+# ----------------------------------------------------------------------
+class TestSoak:
+    @pytest.fixture(scope="class")
+    def soak(self):
+        requests = generate_traffic(
+            SOAK_REQUESTS, seed=SOAK_SEED, seeds=(1, 2)
+        )
+        stats, results, shed = drive(
+            requests, config=ServiceConfig(jobs=2, max_batch=8)
+        )
+        return requests, stats, results, shed
+
+    def test_nothing_is_lost(self, soak):
+        requests, stats, results, shed = soak
+        assert stats.submitted == SOAK_REQUESTS
+        assert stats.lost == 0
+        assert stats.in_flight == 0
+        assert stats.failed == 0
+        assert stats.shed == 0 and not shed  # no deadline configured
+        assert stats.completed == SOAK_REQUESTS
+        assert len(results) == SOAK_REQUESTS
+
+    def test_every_duplicate_coalesces_onto_one_pool_run(self, soak):
+        requests, stats, results, _ = soak
+        unique = {request.config().key() for request in requests}
+        # Burst submission: the first sighting of each unique config is
+        # admitted, every other submission coalesces; the cache cannot
+        # hit because nothing finishes until the burst ends.
+        assert stats.admitted == len(unique)
+        assert stats.coalesced == SOAK_REQUESTS - len(unique)
+        assert stats.cache_hits == 0
+        # The pool simulated each unique config exactly once.
+        assert stats.pool_runs == len(unique)
+        assert stats.quarantined == 0
+
+    def test_batches_respect_max_batch(self, soak):
+        _, stats, _, _ = soak
+        assert stats.batches >= 1
+        assert 1 <= stats.max_batch_size <= 8
+        assert stats.peak_queue_depth >= stats.max_batch_size
+
+    def test_results_bit_identical_to_serial_runner(self, soak):
+        requests, _, results, _ = soak
+        serial = Runner()
+        expected = {}
+        for request, result in zip(requests, results):
+            key = request.config().key()
+            if key not in expected:
+                expected[key] = serial.run(request.config()).to_dict()
+            assert result.to_dict() == expected[key], (
+                f"service result for {request.benchmark}/{request.scheme} "
+                f"(seed {request.seed}) diverged from serial Runner.run"
+            )
+
+    def test_coalesced_waiters_share_one_result_object(self, soak):
+        requests, _, results, _ = soak
+        by_key = {}
+        for request, result in zip(requests, results):
+            key = request.config().key()
+            if key in by_key:
+                assert result is by_key[key]
+            else:
+                by_key[key] = result
+
+
+# ----------------------------------------------------------------------
+# Cache path: a drained service answers repeats without the pool
+# ----------------------------------------------------------------------
+def test_second_wave_is_pure_cache():
+    requests = generate_traffic(40, seed=7)
+    runner = Runner()
+
+    async def _two_waves():
+        service = SimulationService(runner, config=ServiceConfig(jobs=2))
+        async with service:
+            first = [
+                await service.submit(request.config())
+                for request in requests
+            ]
+            await service.gather(first)
+            mid = service.stats()
+            second = [
+                await service.submit(request.config())
+                for request in requests
+            ]
+            await service.gather(second)
+            return mid, service.stats()
+
+    mid, final = asyncio.run(_two_waves())
+    # Wave two never created a job: every submission was a cache hit.
+    assert final.cache_hits - mid.cache_hits == len(requests)
+    assert final.admitted == mid.admitted
+    assert final.pool_runs == mid.pool_runs
+    assert final.lost == 0
+
+
+# ----------------------------------------------------------------------
+# Shedding: deterministic, no wall-clock racing
+# ----------------------------------------------------------------------
+def test_overload_sheds_with_predicted_delay_evidence():
+    """Prime the cost model, fill the queue, and the next distinct
+    request must shed with the SPAWN-style evidence attached."""
+    heavy = TrafficRequest("GC-citation", "flat", seed=1)
+    victim = TrafficRequest("GC-citation", "flat", seed=2)  # distinct key
+
+    async def _scenario():
+        service = SimulationService(
+            Runner(),
+            config=ServiceConfig(jobs=2, deadline_ms=1.0),
+        )
+        # 10 predicted seconds per run: any queued job pushes the
+        # predicted delay (backlog / workers = 5s) far past 1ms.
+        service.model.observe("GC-citation", "flat", 10.0)
+        async with service:
+            job = await service.submit(heavy.config())
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                await service.submit(victim.config())
+            await job
+        return service.stats(), excinfo.value
+
+    stats, error = asyncio.run(_scenario())
+    decision = error.decision
+    assert decision is not None
+    assert decision.verdict == "shed"
+    assert decision.predicted_cost_s == pytest.approx(10.0)
+    assert decision.predicted_delay_s == pytest.approx(5.0)
+    assert decision.deadline_s == pytest.approx(0.001)
+    assert decision.queue_depth == 1
+    assert "predicted queue delay" in str(error)
+    # The shed submission is accounted for, not lost.
+    assert stats.shed == 1
+    assert stats.submitted == 2
+    assert stats.completed == 1
+    assert stats.lost == 0
+
+
+def test_duplicates_coalesce_instead_of_shedding():
+    """An exact duplicate of an in-flight job joins it — coalescing is
+    checked before admission, so hot traffic never sheds itself."""
+    request = TrafficRequest("GC-citation", "flat", seed=1)
+
+    async def _scenario():
+        service = SimulationService(
+            Runner(),
+            config=ServiceConfig(jobs=2, deadline_ms=1.0),
+        )
+        service.model.observe("GC-citation", "flat", 10.0)
+        async with service:
+            first = await service.submit(request.config())
+            second = await service.submit(request.config())
+            assert second is first
+            await service.gather([first, second])
+        return service.stats()
+
+    stats = asyncio.run(_scenario())
+    assert stats.coalesced == 1
+    assert stats.shed == 0
+    assert stats.lost == 0
+
+
+def test_max_queue_cap_sheds_regardless_of_deadline():
+    requests = [
+        TrafficRequest("GC-citation", "flat", seed=seed)
+        for seed in range(1, 5)
+    ]
+
+    async def _scenario():
+        service = SimulationService(
+            Runner(),
+            config=ServiceConfig(jobs=1, max_queue=2),
+        )
+        # A known cost disables the bootstrap-admit path; without a
+        # deadline only the depth cap can shed.
+        service.model.observe("GC-citation", "flat", 0.5)
+        shed = 0
+        handles = []
+        async with service:
+            for request in requests:
+                try:
+                    handles.append(await service.submit(request.config()))
+                except ServiceOverloaded:
+                    shed += 1
+            await service.gather(handles)
+        return service.stats(), shed
+
+    stats, shed = asyncio.run(_scenario())
+    assert shed == 2  # the 3rd and 4th distinct jobs found the queue full
+    assert stats.shed == 2
+    assert stats.completed == 2
+    assert stats.lost == 0
+
+
+# ----------------------------------------------------------------------
+# Inline path ("the parent does the work")
+# ----------------------------------------------------------------------
+def test_small_jobs_run_inline_and_match_serial():
+    request = TrafficRequest("GC-citation", "flat", seed=1)
+
+    async def _scenario():
+        service = SimulationService(
+            Runner(),
+            config=ServiceConfig(jobs=2, inline_threshold_ms=60_000.0),
+        )
+        # Bootstrap first: with no observation the verdict must be
+        # admit, mirroring Algorithm 1's launch-when-t_cta-unknown.
+        first = await service.__aenter__()
+        assert first is service
+        job = await service.submit(request.config())
+        await job
+        assert service.stats().inline == 0
+        assert service.stats().admitted == 1
+        # Now the pair is priced below the (huge) threshold: inline.
+        other = TrafficRequest("GC-citation", "flat", seed=2)
+        inline_job = await service.submit(other.config())
+        result = await inline_job
+        await service.close()
+        return service.stats(), inline_job.state, result
+
+    stats, state, result = asyncio.run(_scenario())
+    assert stats.inline == 1
+    assert state == "inline"
+    assert stats.lost == 0
+    serial = Runner().run(RunConfig("GC-citation", "flat", seed=2))
+    assert result.to_dict() == serial.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Traffic generator: deterministic, serializable
+# ----------------------------------------------------------------------
+def test_traffic_is_a_pure_function_of_its_seed():
+    a = generate_traffic(200, seed=SOAK_SEED, seeds=(1, 2))
+    b = generate_traffic(200, seed=SOAK_SEED, seeds=(1, 2))
+    c = generate_traffic(200, seed=SOAK_SEED + 1, seeds=(1, 2))
+    assert a == b
+    assert a != c
+    # Zipf-ish skew: the hottest pair sees strictly more traffic than
+    # the coldest, so coalescing genuinely gets exercised.
+    counts = {}
+    for request in a:
+        counts[(request.benchmark, request.scheme)] = (
+            counts.get((request.benchmark, request.scheme), 0) + 1
+        )
+    assert max(counts.values()) > min(counts.values())
+
+
+def test_request_file_roundtrip(tmp_path):
+    requests = generate_traffic(25, seed=3, mean_gap_s=0.01)
+    path = dump_requests(requests, tmp_path / "traffic.json")
+    assert load_requests(path) == requests
+    # Arrival offsets are monotone under a Poisson gap process.
+    ats = [request.at for request in requests]
+    assert ats == sorted(ats)
