@@ -55,9 +55,15 @@ from repro.harness.runner import (
 )
 from repro.harness.schemes import DP_SCHEMES, SchemeSpec
 from repro.harness.store import ResultStore, default_cache_dir
+from repro.harness.history import PerfRecord, load_history
 from repro.harness.sweep import SweepResult, offline_search, threshold_sweep
+from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.service import (
+    ReplayBudgetExceeded,
+    ReplayBudgets,
+    ReplayReport,
+    RequestLedger,
     ServiceClosed,
     ServiceConfig,
     ServiceJob,
@@ -65,7 +71,9 @@ from repro.service import (
     ServiceStats,
     SimulationService,
     TrafficRequest,
+    drive_service,
     generate_traffic,
+    replay_ledger,
 )
 from repro.sim.config import GPUConfig, kepler_k20m, small_debug_gpu
 from repro.sim.engine import SimResult
@@ -271,6 +279,16 @@ __all__ = [
     "ServiceStats",
     "TrafficRequest",
     "generate_traffic",
+    # telemetry & load testing
+    "METRICS",
+    "MetricsRegistry",
+    "RequestLedger",
+    "ReplayBudgets",
+    "ReplayReport",
+    "drive_service",
+    "replay_ledger",
+    "PerfRecord",
+    "load_history",
     # core types
     "RunConfig",
     "Runner",
@@ -301,4 +319,5 @@ __all__ = [
     "TaskTimeout",
     "ServiceOverloaded",
     "ServiceClosed",
+    "ReplayBudgetExceeded",
 ]

@@ -44,8 +44,24 @@ Commands
     without touching the pool, and everything else flows through the
     SPAWN-style admission controller (admit to the batch queue, run
     inline, or shed with a predicted-delay reason once ``--deadline-ms``
-    is exceeded).  ``--stats`` prints the admission ledger and cost
-    model; ``--stats-json FILE`` saves it machine-readably.
+    is exceeded).  ``--stats`` prints the admission ledger, latency
+    percentiles, and cost model; ``--stats-json FILE`` saves it
+    machine-readably; ``--record LEDGER.jsonl`` captures every request's
+    arrival and outcome into a replayable ledger.
+``replay LEDGER.jsonl``
+    Re-drive a recorded request ledger against a fresh service,
+    optionally time-compressed (``--speed 10``) and under
+    ``REPRO_FAULTS`` chaos.  Verifies that every completed simulation
+    reproduces its recorded makespan bit-for-bit, and gates the run on
+    latency / shed-rate budgets (``--max-p99-ms``, ``--max-shed-rate``)
+    with measured-vs-limit evidence on failure.
+``perf``
+    Measure the current engine (per-pair wall seconds + makespans via
+    the bench run-set) and the service (burst-soak throughput + shed
+    rate), append the records to the committed rolling history
+    (``bench_history.jsonl``), compare against the trailing window, and
+    render ASCII trend charts.  Exits non-zero on a timing regression
+    or any makespan drift.
 
 Examples
 --------
@@ -62,6 +78,9 @@ Examples
     python -m repro bench --output BENCH.json
     python -m repro serve --synthetic 100 --deadline-ms 2000 --stats
     python -m repro serve requests.json --jobs 4 --stats-json stats.json
+    python -m repro serve --synthetic 50 --record ledger.jsonl
+    python -m repro replay ledger.jsonl --speed 10 --max-p99-ms 5000
+    python -m repro perf --pairs MM-small/spawn --soak 50
 """
 
 from __future__ import annotations
@@ -225,10 +244,85 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-store", action="store_true",
                        help="skip the on-disk cache entirely")
     serve.add_argument("--stats", action="store_true",
-                       help="print the admission ledger and cost-model "
-                            "snapshot after draining")
+                       help="print the admission ledger, latency percentiles, "
+                            "and cost-model snapshot after draining")
     serve.add_argument("--stats-json", default=None, metavar="FILE",
                        help="write the service stats as JSON")
+    serve.add_argument("--record", default=None, metavar="LEDGER.jsonl",
+                       help="record every request's arrival and outcome into "
+                            "a replayable ledger file")
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-drive a recorded request ledger and gate on budgets",
+    )
+    replay.add_argument("ledger", metavar="LEDGER.jsonl",
+                        help="ledger recorded by 'serve --record'")
+    replay.add_argument("--speed", type=float, default=1.0, metavar="X",
+                        help="time compression: 10 replays arrival gaps ten "
+                             "times faster (default: 1)")
+    replay.add_argument("--jobs", type=int, default=2,
+                        help="pool worker processes per batch (default: 2)")
+    replay.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                        help="shed requests once predicted queue delay "
+                             "exceeds this (default: never shed)")
+    replay.add_argument("--inline-ms", type=float, default=0.0, metavar="MS",
+                        help="inline threshold, as for serve (default: 0)")
+    replay.add_argument("--max-batch", type=int, default=8, metavar="N",
+                        help="jobs per pool dispatch (default: 8)")
+    replay.add_argument("--max-queue", type=int, default=None, metavar="N",
+                        help="hard queue-depth cap (default: unbounded)")
+    replay.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result store "
+                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    replay.add_argument("--no-store", action="store_true",
+                        help="skip the on-disk cache entirely")
+    replay.add_argument("--max-p99-ms", type=float, default=None, metavar="MS",
+                        help="budget: fail when the exact p99 of answered-"
+                             "request latency exceeds this")
+    replay.add_argument("--max-shed-rate", type=float, default=None,
+                        metavar="FRACTION",
+                        help="budget: fail when shed/submitted exceeds this "
+                             "(e.g. 0.3)")
+    replay.add_argument("--stats-json", default=None, metavar="FILE",
+                        help="write the replay report as JSON (written before "
+                             "budget enforcement, so a failing gate still "
+                             "leaves evidence)")
+    replay.add_argument("--record", default=None, metavar="LEDGER.jsonl",
+                        help="also write the replayed outcomes as a fresh "
+                             "ledger")
+
+    perf = sub.add_parser(
+        "perf",
+        help="append engine + service perf records to the rolling history",
+    )
+    perf.add_argument("--pairs", default=None, metavar="PAIR[,PAIR...]",
+                      help="benchmark/scheme pairs to time, e.g. "
+                           "'MM-small/spawn,BFS-graph500/spawn' "
+                           "(default: the bench run-set)")
+    perf.add_argument("--repeat", type=int, default=3,
+                      help="timed repetitions per pair, best kept (default: 3)")
+    perf.add_argument("--seed", type=int, default=1)
+    perf.add_argument("--soak", type=int, default=0, metavar="N",
+                      help="also soak the service with N burst requests and "
+                           "record throughput + shed rate (default: off)")
+    perf.add_argument("--traffic-seed", type=int, default=1,
+                      help="seed for --soak traffic (default: 1)")
+    perf.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                      help="soak shed deadline, as for serve (default: never)")
+    perf.add_argument("--history", default=None, metavar="FILE",
+                      help="history file (default: bench_history.jsonl)")
+    perf.add_argument("--no-append", action="store_true",
+                      help="compare and chart only; leave the history file "
+                           "untouched (CI smoke mode)")
+    perf.add_argument("--window", type=int, default=5, metavar="N",
+                      help="trailing records per series to compare against "
+                           "(default: 5)")
+    perf.add_argument("--max-ratio", type=float, default=1.5, metavar="X",
+                      help="regression threshold vs. the trailing mean "
+                           "(default: 1.5)")
+    perf.add_argument("--json", default=None, metavar="FILE",
+                      help="write the fresh records + verdicts as JSON")
 
     plot = sub.add_parser(
         "plot", help="ASCII concurrency timeline for one run (Fig. 6/19 style)"
@@ -669,18 +763,46 @@ def cmd_bench(args, out) -> int:
     return 1 if failed else 0
 
 
+def _latency_rows(latency: dict) -> list:
+    """Table rows (span, count, p50/p95/p99 in ms) from a latency digest."""
+    rows = []
+    sections = [
+        ("end_to_end", latency.get("end_to_end") or {}),
+        ("queue_wait", latency.get("queue_wait") or {}),
+    ]
+    sections.extend(
+        (f"route:{route}", summary)
+        for route, summary in sorted((latency.get("routes") or {}).items())
+    )
+    for name, summary in sections:
+        if not summary.get("count"):
+            continue
+        rows.append(
+            (
+                name,
+                summary["count"],
+                f"{summary['p50'] * 1000:.2f}",
+                f"{summary['p95'] * 1000:.2f}",
+                f"{summary['p99'] * 1000:.2f}",
+            )
+        )
+    return rows
+
+
 def cmd_serve(args, out) -> int:
     import asyncio
 
-    from repro.errors import ServiceOverloaded
     from repro.harness.faults import FaultPlan
     from repro.harness.store import ResultStore
     from repro.service import (
+        RequestLedger,
         ServiceConfig,
         SimulationService,
+        drive_service,
         generate_traffic,
         load_requests,
     )
+    from repro.service.ledger import SHED as LEDGER_SHED
 
     if args.requests is not None:
         requests = load_requests(args.requests)
@@ -714,23 +836,25 @@ def cmd_serve(args, out) -> int:
 
     async def drive():
         service = SimulationService(runner, config=config, faults=faults)
-        handles = []
-        now = 0.0
         async with service:
-            for request in requests:
-                if request.at > now:
-                    await asyncio.sleep(request.at - now)
-                    now = request.at
-                try:
-                    handles.append(
-                        await service.submit(request.config())
-                    )
-                except ServiceOverloaded as exc:
-                    print(f"shed: {exc}", file=sys.stderr)
-            await service.gather(handles, return_exceptions=True)
-        return service.stats()
+            entries = await drive_service(service, requests)
+        return entries, service.stats()
 
-    stats = asyncio.run(drive())
+    entries, stats = asyncio.run(drive())
+    for entry in entries:
+        if entry.outcome == LEDGER_SHED:
+            print(
+                f"shed: {entry.benchmark}/{entry.scheme} seed {entry.seed}",
+                file=sys.stderr,
+            )
+    if args.record:
+        ledger = RequestLedger(entries=list(entries))
+        path = ledger.write(args.record)
+        print(
+            f"recorded {len(ledger)} requests to {path} "
+            f"(fingerprint {ledger.fingerprint()[:12]})",
+            file=sys.stderr,
+        )
     print(
         f"served {len(requests)} requests from {source}: "
         f"completed={stats.completed} failed={stats.failed} "
@@ -742,6 +866,7 @@ def cmd_serve(args, out) -> int:
     if args.stats:
         payload = stats.to_dict()
         model = payload.pop("model")
+        latency = payload.pop("latency")
         print(
             format_table(
                 ["counter", "value"],
@@ -750,6 +875,17 @@ def cmd_serve(args, out) -> int:
             ),
             file=out,
         )
+        latency_rows = _latency_rows(latency)
+        if latency_rows:
+            print(file=out)
+            print(
+                format_table(
+                    ["span", "count", "p50_ms", "p95_ms", "p99_ms"],
+                    latency_rows,
+                    title="service latency percentiles",
+                ),
+                file=out,
+            )
         if model:
             print(file=out)
             print(
@@ -779,6 +915,257 @@ def cmd_serve(args, out) -> int:
         print(f"error: {stats.lost} submissions lost", file=sys.stderr)
         return 1
     return 1 if stats.failed else 0
+
+
+def cmd_replay(args, out) -> int:
+    import asyncio
+
+    from repro.errors import ReplayBudgetExceeded
+    from repro.harness.faults import FaultPlan
+    from repro.harness.store import ResultStore
+    from repro.service import (
+        ReplayBudgets,
+        RequestLedger,
+        ServiceConfig,
+        replay_ledger,
+    )
+
+    ledger = RequestLedger.read(args.ledger)
+    if not len(ledger):
+        print(f"error: {args.ledger} holds no requests", file=sys.stderr)
+        return 2
+    if args.speed <= 0:
+        print(f"error: --speed must be positive, got {args.speed}",
+              file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        jobs=args.jobs,
+        deadline_ms=args.deadline_ms,
+        inline_threshold_ms=args.inline_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+    )
+    store = None if args.no_store else ResultStore(args.cache_dir)
+    runner = Runner(store=store)
+    faults = FaultPlan.from_env()
+    if faults is not None:
+        print(f"chaos: injecting faults {faults.to_dict()}", file=sys.stderr)
+        if store is not None:
+            runner.store = faults.flaky_store(store)
+    budgets = ReplayBudgets(
+        max_p99_s=(
+            args.max_p99_ms / 1000.0 if args.max_p99_ms is not None else None
+        ),
+        max_shed_rate=args.max_shed_rate,
+    )
+
+    report = asyncio.run(
+        replay_ledger(
+            ledger,
+            speed=args.speed,
+            runner=runner,
+            config=config,
+            faults=faults,
+        )
+    )
+    percentiles = report.percentiles()
+    print(
+        f"replayed {report.requests} requests at {args.speed:g}x: "
+        f"completed={report.completed} failed={report.failed} "
+        f"shed={report.shed} shed_rate={report.shed_rate:.3f} "
+        + (
+            f"p99={percentiles['p99'] * 1000:.1f}ms "
+            if "p99" in percentiles else ""
+        )
+        + f"results_identical={report.results_identical}",
+        file=sys.stderr,
+    )
+    # Evidence before judgement: the report JSON and any re-recorded
+    # ledger are written before budgets can fail the run.
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.stats_json}", file=sys.stderr)
+    if args.record and report.ledger is not None:
+        path = report.ledger.write(args.record)
+        print(f"re-recorded replay to {path}", file=sys.stderr)
+    if not report.results_identical:
+        for mismatch in report.mismatches[:10]:
+            print(f"mismatch: {mismatch}", file=sys.stderr)
+        print(
+            "error: replayed simulation results diverge from the recording",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        report.enforce(budgets)
+    except ReplayBudgetExceeded as exc:
+        for item in exc.evidence:
+            print(
+                f"budget violated: {item['budget']} measured "
+                f"{item['measured']:.6g} > limit {item['limit']:.6g}",
+                file=sys.stderr,
+            )
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("replay ok: results bit-identical, budgets met", file=sys.stderr)
+    return 0
+
+
+def cmd_perf(args, out) -> int:
+    import asyncio
+    import datetime
+
+    from repro.harness.bench import BENCH_PAIRS, run_bench
+    from repro.harness.history import (
+        DEFAULT_HISTORY_PATH,
+        append_records,
+        compare,
+        load_history,
+        records_from_bench,
+        soak_record,
+        trend_chart,
+    )
+    from repro.service import (
+        ServiceConfig,
+        SimulationService,
+        drive_service,
+        generate_traffic,
+    )
+
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}",
+              file=sys.stderr)
+        return 2
+    if args.pairs:
+        pairs = []
+        for token in args.pairs.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            benchmark, sep, scheme = token.partition("/")
+            if not sep or not benchmark or not scheme:
+                print(
+                    f"error: --pairs entries must be benchmark/scheme, "
+                    f"got {token!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            pairs.append((benchmark, scheme))
+        if not pairs:
+            print("error: --pairs named no pairs", file=sys.stderr)
+            return 2
+    else:
+        pairs = list(BENCH_PAIRS)
+
+    at = datetime.datetime.now().isoformat(timespec="seconds")
+    history_path = args.history if args.history else DEFAULT_HISTORY_PATH
+    history = load_history(history_path)
+
+    bench_report = run_bench(pairs=pairs, repeat=args.repeat, seed=args.seed)
+    fresh = records_from_bench(bench_report, at)
+
+    if args.soak > 0:
+        import time as _time
+
+        from repro.harness.runner import Runner as _Runner
+
+        requests = generate_traffic(args.soak, seed=args.traffic_seed)
+        config = ServiceConfig(jobs=2, deadline_ms=args.deadline_ms)
+
+        async def soak():
+            # Memory-only runner: a warm disk store would turn the soak
+            # into a pure cache read and flatter the throughput number.
+            service = SimulationService(_Runner(), config=config)
+            start = _time.perf_counter()
+            async with service:
+                await drive_service(service, requests)
+            return _time.perf_counter() - start, service.stats()
+
+        seconds, stats = asyncio.run(soak())
+        fresh.append(
+            soak_record(
+                requests=stats.submitted,
+                seconds=seconds,
+                shed=stats.shed,
+                at=at,
+                details={
+                    "coalesced": stats.coalesced,
+                    "cache_hits": stats.cache_hits,
+                    "batches": stats.batches,
+                },
+            )
+        )
+
+    verdicts = compare(
+        history, fresh, window=args.window, max_ratio=args.max_ratio
+    )
+    if not args.no_append:
+        append_records(fresh, history_path)
+        print(
+            f"appended {len(fresh)} records to {history_path}",
+            file=sys.stderr,
+        )
+    if args.json:
+        payload = {
+            "at": at,
+            "records": [record.to_dict() for record in fresh],
+            "verdicts": verdicts,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+
+    rows = [
+        (
+            record.label,
+            record.kind,
+            f"{record.value:.4g} {record.unit}",
+            next(
+                (
+                    f"{v['baseline']:.4g} (x{v['ratio']})"
+                    for v in verdicts if v["label"] == record.label
+                ),
+                "-",
+            ),
+        )
+        for record in fresh
+    ]
+    print(
+        format_table(
+            ["series", "kind", "measured", "trailing baseline"],
+            rows,
+            title=f"perf records ({at})",
+        ),
+        file=out,
+    )
+    chart = trend_chart(
+        history + fresh, labels=[record.label for record in fresh]
+    )
+    print(file=out)
+    print(chart, file=out)
+
+    failed = False
+    for verdict in verdicts:
+        if verdict["drift"]:
+            print(
+                f"error: {verdict['label']}: makespan drifted from the "
+                "last recorded value (simulation results must be "
+                "deterministic)",
+                file=sys.stderr,
+            )
+            failed = True
+        if verdict["regressed"]:
+            print(
+                f"error: {verdict['label']}: {verdict['value']:.4g} vs. "
+                f"trailing mean {verdict['baseline']:.4g} "
+                f"(ratio {verdict['ratio']}, limit {args.max_ratio})",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 def cmd_plot(args, out) -> int:
@@ -834,6 +1221,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_bench(args, out)
         if args.command == "serve":
             return cmd_serve(args, out)
+        if args.command == "replay":
+            return cmd_replay(args, out)
+        if args.command == "perf":
+            return cmd_perf(args, out)
         if args.command == "plot":
             return cmd_plot(args, out)
         raise AssertionError(f"unhandled command {args.command}")

@@ -64,6 +64,7 @@ from repro.errors import HarnessError, RunFailure, TaskTimeout, WorkerCrash
 from repro.harness import schemes as sch
 from repro.harness.faults import FaultPlan
 from repro.harness.runner import RunConfig, Runner
+from repro.obs.metrics import METRICS
 from repro.obs.profile import REGISTRY
 from repro.obs.tracer import (
     HARNESS_POOL_REBUILD,
@@ -365,6 +366,7 @@ class ParallelRunner:
                 continue
             state.attempts += 1
             seq = self._next_seq()
+            started = time.perf_counter()
             try:
                 if self.faults is not None:
                     self.faults.apply_inline(seq, state.config)
@@ -390,6 +392,9 @@ class ParallelRunner:
                 self._after_failure(state, failure, pending, report)
             else:
                 state.status = OK
+                METRICS.histogram("harness.task_seconds", mode="serial").observe(
+                    max(time.perf_counter() - started, 0.0)
+                )
 
     # -- pooled path ----------------------------------------------------
     def _execute_pool(
@@ -403,7 +408,7 @@ class ParallelRunner:
             while pending:
                 inflight, submit_broken = self._submit_round(pool, pending)
                 broken = submit_broken
-                for state, future in inflight:
+                for state, future, dispatched in inflight:
                     if broken or state.status is not None or state in pending:
                         continue
                     try:
@@ -441,6 +446,12 @@ class ParallelRunner:
                     else:
                         self.runner.cache_result(state.config, result)
                         state.status = OK
+                        # Dispatch-to-result round trip (queue wait behind
+                        # slower tasks included), the pool-side analog of
+                        # the serial per-run timer.
+                        METRICS.histogram(
+                            "harness.task_seconds", mode="pool"
+                        ).observe(max(time.perf_counter() - dispatched, 0.0))
                 if broken:
                     rebuilds += 1
                     report.worker_crashes += 1
@@ -466,7 +477,11 @@ class ParallelRunner:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def _submit_round(self, pool, pending: Deque[_TaskState]):
-        """Dispatch everything currently pending; returns (inflight, broken)."""
+        """Dispatch everything currently pending; returns (inflight, broken).
+
+        ``inflight`` entries are ``(state, future, dispatched_at)`` — the
+        dispatch stamp feeds the ``harness.task_seconds`` histogram.
+        """
         inflight = []
         while pending:
             state = pending.popleft()
@@ -489,12 +504,12 @@ class ParallelRunner:
                 state.attempts -= 1
                 pending.appendleft(state)
                 return inflight, True
-            inflight.append((state, future))
+            inflight.append((state, future, time.perf_counter()))
         return inflight, False
 
     def _requeue_lost(self, inflight, pending: Deque[_TaskState], report) -> None:
         """Every in-flight task without a terminal status died with the pool."""
-        for state, _future in inflight:
+        for state, _future, _dispatched in inflight:
             if state.status is not None or state in pending:
                 continue
             failure = WorkerCrash(
@@ -532,6 +547,7 @@ class ParallelRunner:
                 time.sleep(delay)
             report.retries += 1
             REGISTRY.count("parallel.retries")
+            METRICS.counter("harness.retries_total").inc()
             self._emit(
                 HARNESS_RETRY,
                 benchmark=state.config.benchmark,
@@ -545,6 +561,7 @@ class ParallelRunner:
         state.failure = failure
         report.quarantined += 1
         REGISTRY.count("parallel.quarantined")
+        METRICS.counter("harness.quarantined_total").inc()
         self._emit(
             HARNESS_QUARANTINE,
             benchmark=state.config.benchmark,

@@ -28,10 +28,12 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from repro.obs.metrics import DEFAULT_IO_BUCKETS, METRICS
 from repro.sim.config import GPUConfig
 from repro.sim.engine import SimResult
 
@@ -98,7 +100,16 @@ class ResultStore:
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[SimResult]:
         """The stored result for ``key``, or None (miss / corrupt entry)."""
+        result = self._load(key)
+        METRICS.counter(
+            "store.reads_total",
+            outcome="hit" if result is not None else "miss",
+        ).inc()
+        return result
+
+    def _load(self, key: str) -> Optional[SimResult]:
         path = self._path(key)
+        started = time.perf_counter()
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -109,6 +120,9 @@ class ResultStore:
             # without atomic replace): drop it and re-simulate.
             self._discard(path)
             return None
+        # Only successful reads are timed: a cold miss fails open() fast
+        # and would drown the histogram in not-found noise.
+        self._observe_io("load", started)
         if payload.get("schema") != SCHEMA_VERSION:
             self._discard(path)
             return None
@@ -123,6 +137,7 @@ class ResultStore:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": SCHEMA_VERSION, "result": result.to_dict()}
+        started = time.perf_counter()
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
         )
@@ -137,7 +152,14 @@ class ResultStore:
         except BaseException:
             self._discard(Path(tmp_name))
             raise
+        self._observe_io("save", started)
         return path
+
+    @staticmethod
+    def _observe_io(op: str, started: float) -> None:
+        METRICS.histogram(
+            "store.io_seconds", buckets=DEFAULT_IO_BUCKETS, op=op
+        ).observe(max(time.perf_counter() - started, 0.0))
 
     def contains(self, key: str) -> bool:
         return self._path(key).is_file()

@@ -7,10 +7,20 @@
 * :mod:`repro.obs.export` — JSONL dumps and Chrome ``trace_event`` JSON
   (``chrome://tracing`` / Perfetto);
 * :mod:`repro.obs.profile` — counter/timer registry with a ``profile()``
-  context for harness wall-clock profiling.
+  context for harness wall-clock profiling;
+* :mod:`repro.obs.metrics` — serving-layer counters/gauges/latency
+  histograms with p50/p95/p99 extraction and JSON/Prometheus exporters.
 """
 
 from repro.obs.audit import DecisionAudit, DecisionAuditRecord
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exact_quantile,
+)
 from repro.obs.export import (
     chrome_trace,
     read_jsonl,
@@ -31,6 +41,12 @@ from repro.obs.tracer import (
 __all__ = [
     "DecisionAudit",
     "DecisionAuditRecord",
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exact_quantile",
     "chrome_trace",
     "read_jsonl",
     "write_chrome_trace",

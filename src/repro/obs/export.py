@@ -18,10 +18,20 @@ Timestamps: the simulator clock is in GPU cycles; the Chrome format wants
 microseconds.  We write cycles as-if-microseconds (1 cycle = 1 us) — the
 viewer's timeline is then labelled in cycles, which is what you want to
 read anyway.
+
+``service.*`` and ``harness.*`` events are different: they are stamped
+with *wall-clock seconds* (``time.perf_counter``), not simulated cycles.
+They get their own process tracks ("Service", "Harness"), their
+timestamps are rebased to the first wall-clock event and scaled to real
+microseconds, and each service request renders as a duration slice from
+its submit to its terminal event (cache hit, coalesce, shed, complete,
+or quarantine) on a free request lane — overlapping in-flight requests
+occupy separate lanes, batch dispatches render on lane 0.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
 from typing import IO, Dict, Iterable, List, Tuple, Union
 
@@ -35,15 +45,39 @@ from repro.obs.tracer import (
     LAUNCH_BATCH_SERVICE,
     LAUNCH_BATCH_SUBMIT,
     LAUNCH_DECISION,
+    SERVICE_ADMIT,
+    SERVICE_BATCH,
+    SERVICE_CACHE_HIT,
+    SERVICE_COALESCE,
+    SERVICE_COMPLETE,
+    SERVICE_INLINE,
+    SERVICE_QUARANTINE,
+    SERVICE_SHED,
+    SERVICE_SUBMIT,
     TraceEvent,
 )
 
 PathOrFile = Union[str, IO[str]]
 
-#: Chrome trace process ids, one per hardware component group.
+#: Chrome trace process ids, one per hardware component group; the
+#: serving/harness layers (wall-clock stamped) get their own processes.
 PID_SMX = 0
 PID_GMU = 1
 PID_LAUNCH_UNIT = 2
+PID_SERVICE = 3
+PID_HARNESS = 4
+
+#: Wall-clock seconds -> trace microseconds.
+_WALL_SCALE = 1e6
+
+#: Submit-time terminal kinds: the submission's whole story happened
+#: inside one ``submit`` call, so its slice closes immediately.
+_SERVICE_IMMEDIATE = frozenset(
+    {SERVICE_CACHE_HIT, SERVICE_COALESCE, SERVICE_SHED}
+)
+
+#: Kinds that close an admitted/inline request slice.
+_SERVICE_TERMINAL = frozenset({SERVICE_COMPLETE, SERVICE_QUARANTINE})
 
 
 def _open_for_write(dest: PathOrFile):
@@ -134,9 +168,15 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
     ]
     open_ctas: Dict[Tuple[int, int], TraceEvent] = {}
     smx_seen: Dict[int, None] = {}
+    wall_events: List[TraceEvent] = []
     for event in events:
         kind = event.kind
         args = event.args
+        if kind.startswith("service.") or kind.startswith("harness."):
+            # Wall-clock stamped: rendered after the simulated tracks,
+            # rebased to their own epoch (see _wall_clock_tracks).
+            wall_events.append(event)
+            continue
         if kind == CTA_DISPATCH:
             open_ctas[(args["kernel_id"], args["cta_index"])] = event
             smx_seen.setdefault(args["smx"], None)
@@ -199,7 +239,162 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, object]:
             trace.append(marker)
     for smx in sorted(smx_seen):
         trace.append(_thread_name(PID_SMX, smx, f"SMX {smx}"))
+    if wall_events:
+        _wall_clock_tracks(wall_events, trace)
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def _wall_clock_tracks(
+    wall_events: List[TraceEvent], trace: List[Dict[str, object]]
+) -> None:
+    """Render ``service.*`` / ``harness.*`` events onto their own tracks.
+
+    Timestamps are wall-clock seconds; they are rebased so the first
+    wall-clock event sits at t=0 and scaled to microseconds.  Each
+    service request becomes one duration slice from its submit to its
+    terminal event; concurrently in-flight requests are spread over
+    request lanes (lowest free lane wins, so a quiet service stays on
+    one line).  Batch dispatches render on lane 0; harness recovery
+    actions are instant markers on the Harness track.
+    """
+    epoch = min(event.ts for event in wall_events)
+
+    def us(ts: float) -> float:
+        return (ts - epoch) * _WALL_SCALE
+
+    def public_args(args: Dict[str, object]) -> Dict[str, object]:
+        return {k: v for k, v in args.items() if v is not None}
+
+    free_lanes: List[int] = []
+    next_lane = 1
+    lanes_used = 0
+
+    def alloc_lane() -> int:
+        nonlocal next_lane, lanes_used
+        if free_lanes:
+            lane = heapq.heappop(free_lanes)
+        else:
+            lane = next_lane
+            next_lane += 1
+        lanes_used = max(lanes_used, lane)
+        return lane
+
+    # The most recent SERVICE_SUBMIT not yet claimed by a routing event.
+    # Submission routing is synchronous (submit -> its verdict emits
+    # before any other submit can run on the event loop), so last-wins
+    # matching is exact, not heuristic.
+    pending_submit = None
+    # (benchmark, scheme) -> FIFO of (submit_event, lane, route) for
+    # admitted/inline jobs awaiting their COMPLETE/QUARANTINE.
+    open_requests: Dict[Tuple[str, str], List] = {}
+    service_seen = False
+    harness_seen = False
+
+    def close_slice(submit, lane, name, end_ts, args):
+        heapq.heappush(free_lanes, lane)
+        trace.append(
+            {
+                "ph": "X",
+                "pid": PID_SERVICE,
+                "tid": lane,
+                "ts": us(submit.ts),
+                "dur": max(us(end_ts) - us(submit.ts), 0.0),
+                "name": name,
+                "cat": "service",
+                "args": args,
+            }
+        )
+
+    for event in wall_events:
+        kind = event.kind
+        args = event.args
+        if kind.startswith("harness."):
+            harness_seen = True
+            trace.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": PID_HARNESS,
+                    "tid": 0,
+                    "ts": us(event.ts),
+                    "name": kind.split(".", 1)[1],
+                    "cat": "harness",
+                    "args": public_args(args),
+                }
+            )
+            continue
+        service_seen = True
+        pair = f"{args.get('benchmark')}/{args.get('scheme')}"
+        key = (args.get("benchmark"), args.get("scheme"))
+        if kind == SERVICE_SUBMIT:
+            pending_submit = event
+        elif kind in _SERVICE_IMMEDIATE:
+            suffix = kind.split(".", 1)[1]
+            if pending_submit is not None:
+                close_slice(
+                    pending_submit, alloc_lane(), f"{suffix}:{pair}",
+                    event.ts, public_args(args),
+                )
+                pending_submit = None
+            else:  # submit fell off a ring buffer
+                trace.append(
+                    {
+                        "ph": "i", "s": "t", "pid": PID_SERVICE, "tid": 0,
+                        "ts": us(event.ts), "name": f"{suffix}:{pair}",
+                        "cat": "service", "args": public_args(args),
+                    }
+                )
+        elif kind in (SERVICE_ADMIT, SERVICE_INLINE):
+            route = "inline" if kind == SERVICE_INLINE else "batch"
+            if pending_submit is not None:
+                open_requests.setdefault(key, []).append(
+                    (pending_submit, alloc_lane(), route)
+                )
+                pending_submit = None
+        elif kind in _SERVICE_TERMINAL:
+            waiting = open_requests.get(key)
+            if waiting:
+                submit, lane, route = waiting.pop(0)
+                suffix = (
+                    "quarantine" if kind == SERVICE_QUARANTINE else route
+                )
+                close_slice(
+                    submit, lane, f"{suffix}:{pair}",
+                    event.ts, public_args(args),
+                )
+            else:  # orphan terminal (truncated stream): keep it visible
+                trace.append(
+                    {
+                        "ph": "i", "s": "t", "pid": PID_SERVICE, "tid": 0,
+                        "ts": us(event.ts),
+                        "name": f"{kind.split('.', 1)[1]}:{pair}",
+                        "cat": "service", "args": public_args(args),
+                    }
+                )
+        elif kind == SERVICE_BATCH:
+            seconds = float(args.get("seconds", 0.0))
+            trace.append(
+                {
+                    "ph": "X",
+                    "pid": PID_SERVICE,
+                    "tid": 0,
+                    "ts": us(event.ts - seconds),
+                    "dur": max(seconds * _WALL_SCALE, 0.0),
+                    "name": f"batch[{args.get('size')}]",
+                    "cat": "service",
+                    "args": public_args(args),
+                }
+            )
+    # In-flight requests at stream end have no terminal event; they are
+    # dropped, matching the CTA exporter's treatment of dangling opens.
+    if service_seen:
+        trace.append(_metadata(PID_SERVICE, "Service"))
+        trace.append(_thread_name(PID_SERVICE, 0, "batches"))
+        for lane in range(1, lanes_used + 1):
+            trace.append(_thread_name(PID_SERVICE, lane, f"request lane {lane}"))
+    if harness_seen:
+        trace.append(_metadata(PID_HARNESS, "Harness"))
+        trace.append(_thread_name(PID_HARNESS, 0, "recovery"))
 
 
 def write_chrome_trace(events: Iterable[TraceEvent], dest: PathOrFile) -> int:

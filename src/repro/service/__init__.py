@@ -13,10 +13,21 @@ to the service itself), and batches admitted jobs into
 * :mod:`repro.service.scheduler` — FIFO batch scheduler over the pool;
 * :mod:`repro.service.service` — the :class:`SimulationService` façade;
 * :mod:`repro.service.traffic` — deterministic seeded traffic and the
-  scripted request files ``repro serve`` consumes.
+  scripted request files ``repro serve`` consumes;
+* :mod:`repro.service.ledger` — request-ledger record/replay with
+  latency/shed-rate budget gating (``repro serve --record`` /
+  ``repro replay``).
 """
 
-from repro.errors import ServiceClosed, ServiceOverloaded
+from repro.errors import ReplayBudgetExceeded, ServiceClosed, ServiceOverloaded
+from repro.service.ledger import (
+    LedgerEntry,
+    ReplayBudgets,
+    ReplayReport,
+    RequestLedger,
+    drive_service,
+    replay_ledger,
+)
 from repro.service.admission import (
     ADMIT,
     INLINE,
@@ -46,6 +57,11 @@ __all__ = [
     "BatchScheduler",
     "CostModel",
     "DEFAULT_MATRIX",
+    "LedgerEntry",
+    "ReplayBudgetExceeded",
+    "ReplayBudgets",
+    "ReplayReport",
+    "RequestLedger",
     "RequestLike",
     "ServiceClosed",
     "ServiceConfig",
@@ -55,7 +71,9 @@ __all__ = [
     "SimulationService",
     "TrafficRequest",
     "WindowedEWMA",
+    "drive_service",
     "dump_requests",
     "generate_traffic",
     "load_requests",
+    "replay_ledger",
 ]

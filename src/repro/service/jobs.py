@@ -74,7 +74,10 @@ class ServiceJob:
     counters by it so every submission is accounted for exactly once.
     """
 
-    __slots__ = ("config", "state", "decision", "waiters", "_future")
+    __slots__ = (
+        "config", "state", "decision", "waiters", "_future",
+        "submitted_at", "dispatched_at", "finished_at",
+    )
 
     def __init__(self, config: RunConfig, *, decision=None):
         self.config = config
@@ -82,6 +85,12 @@ class ServiceJob:
         #: The AdmissionDecision that let this job in (None for cache hits).
         self.decision = decision
         self.waiters = 1
+        # Wall-clock (perf_counter) span stamps for the latency metrics:
+        # submit -> dispatch (queue wait) -> finish (end-to-end).  Stages
+        # a job never reaches stay None (a cached job never dispatches).
+        self.submitted_at: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
         # Jobs are only ever created by the service inside its event loop;
         # get_running_loop keeps that contract honest (and avoids the
         # deprecated implicit-loop creation of get_event_loop).
@@ -156,6 +165,11 @@ class ServiceStats:
     #: Cost-model snapshot, filled in by :meth:`SimulationService.stats`.
     model: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
+    #: Latency digest (end-to-end, queue-wait, per-route percentiles)
+    #: sourced from the service's :mod:`repro.obs.metrics` histograms,
+    #: filled in by :meth:`SimulationService.stats`.
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
     @property
     def lost(self) -> int:
         """Submissions unaccounted for — the soak tests pin this at 0."""
@@ -176,4 +190,5 @@ class ServiceStats:
         }
         out["lost"] = self.lost
         out["model"] = self.model
+        out["latency"] = self.latency
         return out

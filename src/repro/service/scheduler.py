@@ -117,11 +117,12 @@ class BatchScheduler:
             batch.append(self._queue.popleft())
         if not batch:
             return
-        for job in batch:
-            job.state = BATCHED
         configs = [job.config for job in batch]
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
+        for job in batch:
+            job.state = BATCHED
+            job.dispatched_at = start
         report = await loop.run_in_executor(None, self._dispatch, configs)
         elapsed = time.perf_counter() - start
         self._on_batch_done(batch, report, elapsed)

@@ -30,6 +30,16 @@ Observability: ``service.*`` tracer events (wall-clock stamped, like the
 ``harness.*`` kinds) for every routing decision, ``service.*`` counters
 in :data:`repro.obs.profile.REGISTRY`, and a :class:`ServiceStats`
 ledger whose headline invariant is *zero lost submissions*.
+
+Latency telemetry (:mod:`repro.obs.metrics`): every job is span-stamped
+submit -> dispatch -> finish, feeding per-stage histograms
+(``service.stage_seconds`` with ``stage`` in ``admit | queue | dispatch
+| total``) and per-admission-route end-to-end histograms
+(``service.route_latency_seconds`` with ``route`` in ``cached | inline |
+batch``), plus ``service.requests_total`` route counters and
+queue-depth/in-flight gauges.  :meth:`SimulationService.stats` digests
+them into ``ServiceStats.latency`` (p50/p95/p99 end-to-end and
+queue-wait), which ``repro serve --stats-json`` serializes.
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ from repro.harness.parallel import (
     TaskOutcome,
 )
 from repro.harness.runner import RunConfig, Runner
+from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.profile import REGISTRY
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -161,10 +172,20 @@ class SimulationService:
         policy: Optional[ExecutionPolicy] = None,
         faults: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.runner = runner if runner is not None else Runner()
         self.config = config if config is not None else ServiceConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Latency/counter instruments; the process-wide registry unless
+        #: the caller injects its own (tests, per-replay isolation).
+        self.metrics = metrics if metrics is not None else METRICS
+        self._stage_hist = {
+            stage: self.metrics.histogram("service.stage_seconds", stage=stage)
+            for stage in ("admit", "queue", "dispatch", "total")
+        }
+        self._queue_gauge = self.metrics.gauge("service.queue_depth")
+        self._inflight_gauge = self.metrics.gauge("service.in_flight")
         self.model = CostModel(
             alpha=self.config.ewma_alpha, window=self.config.ewma_window
         )
@@ -240,6 +261,7 @@ class SimulationService:
             raise ServiceClosed("service is closed")
         if not self._started:
             await self.start()
+        submitted_at = time.perf_counter()
         config = as_run_config(entry, seed)
         # Validate eagerly so one bad request cannot poison a batch.
         get_benchmark(config.benchmark)
@@ -257,7 +279,9 @@ class SimulationService:
             job.waiters += 1
             self._stats.coalesced += 1
             self._stats.in_flight += 1
+            self._inflight_gauge.inc()
             REGISTRY.count("service.coalesced")
+            self.metrics.counter("service.requests_total", route="coalesced").inc()
             self._emit(
                 SERVICE_COALESCE,
                 benchmark=config.benchmark, scheme=config.scheme,
@@ -271,19 +295,26 @@ class SimulationService:
             self._stats.cache_hits += 1
             self._stats.completed += 1
             REGISTRY.count("service.cache_hits")
+            self.metrics.counter("service.requests_total", route="cached").inc()
             self._emit(
                 SERVICE_CACHE_HIT,
                 benchmark=config.benchmark, scheme=config.scheme,
             )
             job = ServiceJob(config)
+            job.submitted_at = submitted_at
             job.resolve(cached, state=CACHED)
+            self._observe_latency(job, "cached")
             return job
 
         # 3. Admission: price the request before it may touch the pool.
         decision = self.controller.decide(config.benchmark, config.scheme)
+        self._stage_hist["admit"].observe(
+            max(time.perf_counter() - submitted_at, 0.0)
+        )
         if decision.verdict == SHED:
             self._stats.shed += 1
             REGISTRY.count("service.shed")
+            self.metrics.counter("service.requests_total", route="shed").inc()
             self._emit(
                 SERVICE_SHED,
                 benchmark=config.benchmark, scheme=config.scheme,
@@ -297,11 +328,12 @@ class SimulationService:
                 decision=decision,
             )
         if decision.verdict == INLINE:
-            return self._run_inline(config, decision)
+            return self._run_inline(config, decision, submitted_at)
 
         # 4. Admit to the batching scheduler.
         assert decision.verdict == ADMIT
         job = ServiceJob(config, decision=decision)
+        job.submitted_at = submitted_at
         self._inflight[job.key] = job
         self.controller.on_admitted(decision)
         self._scheduler.enqueue(job)
@@ -311,6 +343,9 @@ class SimulationService:
             self._stats.peak_queue_depth, self._scheduler.queue_depth
         )
         REGISTRY.count("service.admitted")
+        self.metrics.counter("service.requests_total", route="batch").inc()
+        self._queue_gauge.set(self._scheduler.queue_depth)
+        self._inflight_gauge.inc()
         self._emit(
             SERVICE_ADMIT,
             benchmark=config.benchmark, scheme=config.scheme,
@@ -333,7 +368,9 @@ class SimulationService:
     # ------------------------------------------------------------------
     # Inline path ("the parent does the work")
     # ------------------------------------------------------------------
-    def _run_inline(self, config: RunConfig, decision) -> ServiceJob:
+    def _run_inline(
+        self, config: RunConfig, decision, submitted_at: float
+    ) -> ServiceJob:
         """Simulate a predicted-small job on the event-loop thread.
 
         Deliberately blocking: the whole point of the branch is that for
@@ -342,8 +379,10 @@ class SimulationService:
         argument.  The admission threshold bounds the stall.
         """
         job = ServiceJob(config, decision=decision)
+        job.submitted_at = submitted_at
         self._stats.inline += 1
         REGISTRY.count("service.inline")
+        self.metrics.counter("service.requests_total", route="inline").inc()
         self._emit(
             SERVICE_INLINE,
             benchmark=config.benchmark, scheme=config.scheme,
@@ -368,6 +407,7 @@ class SimulationService:
                 error=str(exc),
             )
             job.fail(failure)
+            self._observe_latency(job, "inline")
             return job
         elapsed = time.perf_counter() - start
         self.model.observe(
@@ -380,6 +420,7 @@ class SimulationService:
             seconds=elapsed, path=JOB_INLINE,
         )
         job.resolve(result, state=JOB_INLINE)
+        self._observe_latency(job, "inline")
         return job
 
     # ------------------------------------------------------------------
@@ -431,6 +472,8 @@ class SimulationService:
         )
         REGISTRY.count("service.batches")
         REGISTRY.count("service.batched_jobs", len(batch))
+        self.metrics.histogram("service.batch_seconds").observe(max(elapsed, 0.0))
+        self._queue_gauge.set(self._scheduler.queue_depth)
         self._emit(
             SERVICE_BATCH,
             size=len(batch), seconds=elapsed,
@@ -474,6 +517,8 @@ class SimulationService:
         if job.decision is not None:
             self.controller.on_finished(job.decision)
         self._stats.in_flight -= job.waiters
+        self._inflight_gauge.dec(job.waiters)
+        self._observe_latency(job, "batch")
         if error is not None:
             self._stats.failed += job.waiters
             self._stats.quarantined += 1
@@ -494,11 +539,60 @@ class SimulationService:
             job.resolve(result)
 
     # ------------------------------------------------------------------
+    # Latency spans (repro.obs.metrics)
+    # ------------------------------------------------------------------
+    def _observe_latency(self, job: ServiceJob, route: str) -> None:
+        """Close a job's span stamps into the stage/route histograms.
+
+        Called exactly once per unique job, at resolution (any path,
+        success or failure — a quarantined request still *answered* in
+        that much wall time).  Jobs without a submit stamp (defensive
+        only) are skipped rather than recorded as zero.
+        """
+        now = time.perf_counter()
+        job.finished_at = now
+        start = job.submitted_at
+        if start is None:
+            return
+        total = max(now - start, 0.0)
+        self._stage_hist["total"].observe(total)
+        self.metrics.histogram(
+            "service.route_latency_seconds", route=route
+        ).observe(total)
+        if job.dispatched_at is not None:
+            self._stage_hist["queue"].observe(
+                max(job.dispatched_at - start, 0.0)
+            )
+            self._stage_hist["dispatch"].observe(
+                max(now - job.dispatched_at, 0.0)
+            )
+
+    def _latency_digest(self) -> dict:
+        """The ``ServiceStats.latency`` section: JSON-ready percentiles."""
+        digest = {
+            "end_to_end": self._stage_hist["total"].summary(),
+            "queue_wait": self._stage_hist["queue"].summary(),
+        }
+        routes = {}
+        for route in ("cached", "inline", "batch"):
+            hist = self.metrics.histogram(
+                "service.route_latency_seconds", route=route
+            )
+            if hist.count:
+                routes[route] = hist.summary()
+        digest["routes"] = routes
+        return digest
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
         """A point-in-time copy of the ledger, with the model snapshot."""
-        return replace(self._stats, model=self.model.snapshot())
+        return replace(
+            self._stats,
+            model=self.model.snapshot(),
+            latency=self._latency_digest(),
+        )
 
     @property
     def queue_depth(self) -> int:

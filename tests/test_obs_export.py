@@ -3,11 +3,15 @@
 import io
 import json
 
+import pytest
+
 from repro.harness import schemes as sch
 from repro.obs.audit import DecisionAudit
 from repro.obs.export import (
     PID_GMU,
+    PID_HARNESS,
     PID_LAUNCH_UNIT,
+    PID_SERVICE,
     PID_SMX,
     chrome_trace,
     read_jsonl,
@@ -17,9 +21,17 @@ from repro.obs.export import (
 from repro.obs.tracer import (
     CTA_DISPATCH,
     CTA_FINISH,
+    HARNESS_RETRY,
     HWQ_BIND,
     LAUNCH_BATCH_SUBMIT,
     LAUNCH_DECISION,
+    SERVICE_ADMIT,
+    SERVICE_BATCH,
+    SERVICE_CACHE_HIT,
+    SERVICE_COMPLETE,
+    SERVICE_QUARANTINE,
+    SERVICE_SHED,
+    SERVICE_SUBMIT,
     TraceEvent,
     Tracer,
 )
@@ -150,3 +162,159 @@ class TestChromeTrace:
         with open(path) as fh:
             doc = json.load(fh)
         assert len(doc["traceEvents"]) == count > 0
+
+
+def _service_event(ts, kind, **args):
+    return TraceEvent(ts, kind, {"benchmark": "MM-small", "scheme": "spawn", **args})
+
+
+class TestServiceTrack:
+    """service.* / harness.* wall-clock events get their own tracks."""
+
+    def _batched_request(self, base=1000.0):
+        return [
+            _service_event(base + 0.0, SERVICE_SUBMIT, seed=1),
+            _service_event(base + 0.0, SERVICE_ADMIT, seed=1),
+            _service_event(base + 0.5, SERVICE_COMPLETE, seed=1),
+        ]
+
+    def test_admitted_request_becomes_one_slice(self):
+        doc = chrome_trace(self._batched_request())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        s = slices[0]
+        assert s["pid"] == PID_SERVICE
+        assert s["tid"] == 1  # first request lane
+        assert s["name"] == "batch:MM-small/spawn"
+        assert s["ts"] == 0  # rebased to the wall epoch
+        assert s["dur"] == pytest.approx(0.5e6)  # seconds -> microseconds
+
+    def test_concurrent_requests_spread_over_lanes_and_reuse_them(self):
+        events = [
+            _service_event(1000.0, SERVICE_SUBMIT, seed=1),
+            _service_event(1000.0, SERVICE_ADMIT, seed=1),
+            _service_event(1000.1, SERVICE_SUBMIT, seed=2, scheme="flat"),
+            _service_event(1000.1, SERVICE_ADMIT, seed=2, scheme="flat"),
+            _service_event(1000.5, SERVICE_COMPLETE, seed=1),
+            _service_event(1000.6, SERVICE_COMPLETE, seed=2, scheme="flat"),
+            # Third request arrives after lane 1 freed: reuses it.
+            _service_event(1001.0, SERVICE_SUBMIT, seed=3),
+            _service_event(1001.0, SERVICE_ADMIT, seed=3),
+            _service_event(1001.2, SERVICE_COMPLETE, seed=3),
+        ]
+        doc = chrome_trace(events)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [s["tid"] for s in slices] == [1, 2, 1]
+        lane_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == PID_SERVICE
+        }
+        assert lane_names == {"batches", "request lane 1", "request lane 2"}
+
+    def test_cache_hit_and_shed_close_the_submit(self):
+        events = [
+            _service_event(1000.0, SERVICE_SUBMIT, seed=1),
+            _service_event(1000.001, SERVICE_CACHE_HIT, seed=1),
+            _service_event(1000.1, SERVICE_SUBMIT, seed=2),
+            _service_event(1000.1, SERVICE_SHED, seed=2),
+        ]
+        doc = chrome_trace(events)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == [
+            "cache_hit:MM-small/spawn", "shed:MM-small/spawn",
+        ]
+
+    def test_quarantine_renames_the_slice(self):
+        events = [
+            _service_event(1000.0, SERVICE_SUBMIT, seed=1),
+            _service_event(1000.0, SERVICE_ADMIT, seed=1),
+            _service_event(1000.3, SERVICE_QUARANTINE, seed=1),
+        ]
+        doc = chrome_trace(events)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices[0]["name"] == "quarantine:MM-small/spawn"
+
+    def test_batch_dispatch_is_backdated_on_tid_zero(self):
+        events = self._batched_request() + [
+            _service_event(1000.5, SERVICE_BATCH, size=3, seconds=0.4),
+        ]
+        doc = chrome_trace(events)
+        batch = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 0 and e["pid"] == PID_SERVICE
+        ]
+        assert len(batch) == 1
+        assert batch[0]["name"] == "batch[3]"
+        # The batch event fires at completion; the slice starts earlier.
+        assert batch[0]["ts"] == pytest.approx(0.1e6)
+        assert batch[0]["dur"] == pytest.approx(0.4e6)
+
+    def test_harness_events_are_instants_on_their_own_track(self):
+        events = self._batched_request() + [
+            TraceEvent(1000.2, HARNESS_RETRY, {"attempt": 2}),
+        ]
+        doc = chrome_trace(events)
+        instants = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "i" and e["pid"] == PID_HARNESS
+        ]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "retry"
+        procs = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert procs[PID_HARNESS] == "Harness"
+        assert procs[PID_SERVICE] == "Service"
+
+    def test_no_service_metadata_without_service_events(self):
+        doc = chrome_trace(traced_run())
+        pids = {
+            e["pid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert PID_SERVICE not in pids
+        assert PID_HARNESS not in pids
+
+    def test_sim_and_wall_events_coexist_and_serialize(self):
+        events = traced_run()[:100] + self._batched_request()
+        doc = chrome_trace(events)
+        json.dumps(doc)  # whole document stays JSON-serializable
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert PID_SERVICE in pids
+        assert PID_SMX in pids
+
+    def test_live_service_run_renders_slices(self):
+        # End-to-end: a real traced service drive produces service slices.
+        import asyncio
+
+        from repro.harness.runner import Runner
+        from repro.service import ServiceConfig, SimulationService, TrafficRequest
+        from repro.service.ledger import drive_service
+
+        tracer = Tracer()
+
+        async def go():
+            service = SimulationService(
+                Runner(), config=ServiceConfig(jobs=2), tracer=tracer
+            )
+            requests = [
+                TrafficRequest(benchmark="MM-small", scheme="flat", seed=s)
+                for s in (1, 2, 1)
+            ]
+            async with service:
+                await drive_service(service, requests)
+
+        asyncio.run(go())
+        doc = chrome_trace(tracer.events())
+        service_slices = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == PID_SERVICE
+        ]
+        assert service_slices
+        assert all(s["dur"] >= 0 for s in service_slices)
+        json.dumps(doc)
