@@ -115,6 +115,7 @@ def simulate(
     cta_threads: Optional[int] = None,
     stream_policy: str = PER_CHILD,
     trace_interval: float = 1000.0,
+    engine: str = "default",
     max_events: Optional[int] = None,
     runner: Optional[Runner] = None,
     store: Optional[ResultStore] = None,
@@ -127,7 +128,8 @@ def simulate(
     scheme, simulates on ``gpu`` (default: the paper's K20m-like
     configuration) and returns the :class:`SimResult`.  Pass ``runner`` to
     share caches across calls; otherwise ``store``/``cache_dir`` control
-    persistence for this call's throwaway runner.
+    persistence for this call's throwaway runner.  ``engine`` selects the
+    simulation core (``"fast"`` for the certified batch-stepping engine).
     """
     if runner is None:
         runner = _make_runner(gpu, max_events, store, cache_dir)
@@ -138,6 +140,7 @@ def simulate(
         cta_threads=cta_threads,
         stream_policy=stream_policy,
         trace_interval=trace_interval,
+        engine=engine,
     )
     return runner.run(config, tracer=tracer)
 

@@ -191,13 +191,20 @@ def diff_traces(
     return None
 
 
-def record_trace(benchmark: str, scheme: str, *, check: bool = True):
+def record_trace(
+    benchmark: str, scheme: str, *, check: bool = True, engine: str = "default"
+):
     """Simulate one matrix cell with a ConformanceChecker attached.
 
     Returns ``(checker, result)`` — the checker holds the retained event
     stream (golden source) and any invariant violations.  Import-local to
     keep :mod:`repro.check.golden` free of heavyweight harness imports for
     consumers that only diff traces.
+
+    ``engine`` selects the simulation core.  The corpus itself is always
+    recorded with the reference engine; verifying with ``engine="fast"``
+    diffs the fast core's event stream against those same committed
+    files — the strongest bit-identity certificate the repo has.
     """
     from repro.check.invariants import ConformanceChecker
     from repro.harness.runner import RunConfig, Runner
@@ -207,7 +214,9 @@ def record_trace(benchmark: str, scheme: str, *, check: bool = True):
     checker = ConformanceChecker(config)
     runner = Runner(config)
     result = runner.run(
-        RunConfig(benchmark=benchmark, scheme=scheme, seed=GOLDEN_SEED),
+        RunConfig(
+            benchmark=benchmark, scheme=scheme, seed=GOLDEN_SEED, engine=engine
+        ),
         tracer=checker,
     )
     if check:

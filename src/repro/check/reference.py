@@ -203,6 +203,7 @@ def run_differential(
     policy_factory: Optional[Callable[[], object]] = None,
     stream_policy_factory: Optional[Callable[[], object]] = None,
     sim_kwargs: Optional[Dict[str, object]] = None,
+    engine: str = "default",
 ) -> Optional[DifferentialMismatch]:
     """Run ``app`` through the optimized and reference engines and compare.
 
@@ -211,7 +212,18 @@ def run_differential(
     engine's own defaults).  Returns None when the event streams are
     identical and the final stats round-trip dicts are equal; otherwise a
     :class:`DifferentialMismatch` naming the first divergence.
+
+    ``engine`` picks the *candidate* side of the comparison: ``"default"``
+    validates the per-event engine, ``"fast"`` the batch-stepping core
+    (:mod:`repro.sim.fast`) — both against the same naive reference.
     """
+    from repro.sim.fast import ENGINES
+
+    candidate_cls = ENGINES.get(engine)
+    if candidate_cls is None:
+        raise SimulationError(
+            f"unknown engine {engine!r} (choose from {sorted(ENGINES)})"
+        )
     kwargs = dict(sim_kwargs or {})
 
     def build(sim_cls):
@@ -227,7 +239,7 @@ def run_differential(
         )
         return sim, tracer
 
-    optimized, opt_tracer = build(GPUSimulator)
+    optimized, opt_tracer = build(candidate_cls)
     reference, ref_tracer = build(ReferenceSimulator)
     opt_result = optimized.run(app)
     ref_result = reference.run(app)

@@ -68,14 +68,18 @@ Examples
 ::
 
     python -m repro run BFS-graph500 --scheme spawn
+    python -m repro run SA-thaliana --scheme spawn --engine fast
     python -m repro run BFS-citation --trace bfs.jsonl --chrome-trace bfs.json
     python -m repro audit all --scheme spawn
     python -m repro sweep SSSP-citation
     python -m repro experiment fig15
     python -m repro suite --jobs 4
     python -m repro check
+    python -m repro check --engine fast
     python -m repro cache stats
     python -m repro bench --output BENCH.json
+    python -m repro bench --engine fast --min-speedup 0.3
+    python -m repro bench --compare-engines --min-speedup 0.9
     python -m repro serve --synthetic 100 --deadline-ms 2000 --stats
     python -m repro serve requests.json --jobs 4 --stats-json stats.json
     python -m repro serve --synthetic 50 --record ledger.jsonl
@@ -94,6 +98,16 @@ from repro.errors import ReproError
 from repro.harness.report import format_table
 from repro.harness.runner import RunConfig, Runner
 from repro.harness.sweep import threshold_sweep
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser, *, what: str) -> None:
+    """The shared ``--engine`` flag: which simulation core runs ``what``."""
+    parser.add_argument(
+        "--engine", default="default", choices=["default", "fast"],
+        help=f"simulation core for {what}: the per-event reference engine "
+             "or the batch-stepping fast core, certified bit-identical "
+             "(default: default)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="export a chrome://tracing / Perfetto trace")
     run.add_argument("--profile", action="store_true",
                      help="print harness wall-clock timings after the run")
+    _add_engine_argument(run, what="this run")
 
     audit = sub.add_parser(
         "audit", help="SPAWN decision audit: prediction error vs. reality"
@@ -171,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--fail-fast", action="store_true",
                        help="abort on the first quarantined run instead of "
                             "completing the rest of the suite")
+    _add_engine_argument(suite, what="every suite run")
 
     check = sub.add_parser(
         "check",
@@ -189,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmark", default=None, metavar="NAME",
         help="restrict to one benchmark of the matrix",
     )
+    _add_engine_argument(check, what="the matrix runs (the corpus itself "
+                                     "is always recorded with the default "
+                                     "engine)")
 
     cache = sub.add_parser("cache", help="inspect or clear the on-disk result store")
     cache.add_argument("action", nargs="?", default="stats",
@@ -208,7 +227,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=None, metavar="X",
                        help="fail (exit 1) when any pair's speedup vs. its "
                             "recorded reference drops below X, e.g. 0.25 "
-                            "(default: drift check only)")
+                            "(default: drift check only); with "
+                            "--compare-engines the gate applies to the "
+                            "same-host fast-vs-default ratio instead")
+    bench.add_argument("--compare-engines", action="store_true",
+                       help="time every pair under BOTH engines, interleaved "
+                            "on the same host, and write the speedup matrix "
+                            "plus a bit-identical-makespan cross-check into "
+                            "the report")
+    _add_engine_argument(bench, what="the timed runs (ignored by "
+                                     "--compare-engines, which always times "
+                                     "both)")
 
     serve = sub.add_parser(
         "serve",
@@ -251,6 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--record", default=None, metavar="LEDGER.jsonl",
                        help="record every request's arrival and outcome into "
                             "a replayable ledger file")
+    _add_engine_argument(serve, what="requests that did not pick one "
+                                     "themselves")
 
     replay = sub.add_parser(
         "replay",
@@ -323,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: 1.5)")
     perf.add_argument("--json", default=None, metavar="FILE",
                       help="write the fresh records + verdicts as JSON")
+    _add_engine_argument(perf, what="the timed pairs (non-default engines "
+                                    "record their own @engine-suffixed "
+                                    "history series)")
 
     plot = sub.add_parser(
         "plot", help="ASCII concurrency timeline for one run (Fig. 6/19 style)"
@@ -351,13 +385,16 @@ def cmd_run(args, out) -> int:
     from repro.obs import Tracer, write_chrome_trace, write_jsonl
     from repro.obs.profile import REGISTRY
 
-    runner = Runner()
+    # default_engine so the flat run behind speedup_vs_flat uses the same
+    # core as the main run (and both land in engine-keyed cache entries).
+    runner = Runner(default_engine=args.engine)
     config = RunConfig(
         benchmark=args.benchmark,
         scheme=args.scheme,
         seed=args.seed,
         cta_threads=args.cta_threads,
         stream_policy=args.stream_policy,
+        engine=args.engine,
     )
     tracing = args.trace is not None or args.chrome_trace is not None
     tracer = Tracer() if tracing else None
@@ -525,7 +562,10 @@ def cmd_suite(args, out) -> int:
               file=sys.stderr)
         return 2
     store = None if args.no_store else ResultStore(args.cache_dir)
-    runner = Runner(store=store)
+    # default_engine covers the experiment phase: experiment modules build
+    # their own RunConfigs, and the runner resolves them onto the same
+    # engine-keyed cache entries the fan-out produced.
+    runner = Runner(store=store, default_engine=args.engine)
     if args.experiments:
         names = [name.strip() for name in args.experiments.split(",") if name.strip()]
         unknown = [name for name in names if name not in ALL_EXPERIMENTS]
@@ -548,8 +588,19 @@ def cmd_suite(args, out) -> int:
         print(f"chaos: injecting faults {faults.to_dict()}", file=sys.stderr)
         if store is not None:
             runner.store = faults.flaky_store(store)
+    plan = suite_plan(args.seed, names)
+    if args.engine != "default":
+        # Worker processes execute the plan configs verbatim (they build
+        # their own runners), so the engine must ride on the configs.
+        import dataclasses
+
+        plan = [
+            dataclasses.replace(c, engine=args.engine)
+            if c.engine == "default" else c
+            for c in plan
+        ]
     parallel = ParallelRunner(runner, policy=policy, faults=faults)
-    report = parallel.run_suite(suite_plan(args.seed, names), jobs=jobs)
+    report = parallel.run_suite(plan, jobs=jobs)
     if args.resume:
         print(
             f"resume: {report.resumed} of "
@@ -616,6 +667,15 @@ def cmd_check(args, out) -> int:
         write_golden,
     )
 
+    if args.update_golden and args.engine != "default":
+        # The corpus is the reference engine's word; recording it with a
+        # candidate engine would certify that engine against itself.
+        print(
+            "error: --update-golden must record with the default engine "
+            "(verify a candidate with --engine, never record with it)",
+            file=sys.stderr,
+        )
+        return 2
     golden_dir = args.golden_dir if args.golden_dir else default_golden_dir()
     matrix = [
         pair for pair in GOLDEN_MATRIX
@@ -629,8 +689,10 @@ def cmd_check(args, out) -> int:
         return 2
     failures = 0
     for benchmark, scheme in matrix:
-        checker, result = record_trace(benchmark, scheme)
+        checker, result = record_trace(benchmark, scheme, engine=args.engine)
         label = f"{benchmark}/{scheme}"
+        if args.engine != "default":
+            label = f"{label} [{args.engine}]"
         if checker.violations:
             failures += 1
             print(
@@ -698,6 +760,8 @@ def cmd_cache(args, out) -> int:
 def cmd_bench(args, out) -> int:
     from repro.harness.bench import (
         DEFAULT_MIN_SPEEDUP,
+        compare_engines,
+        compare_regressions,
         regressions,
         run_bench,
         write_report,
@@ -706,16 +770,86 @@ def cmd_bench(args, out) -> int:
     if args.repeat < 1:
         print(f"error: --repeat must be >= 1, got {args.repeat}", file=sys.stderr)
         return 2
-    min_speedup = (
-        args.min_speedup if args.min_speedup is not None else DEFAULT_MIN_SPEEDUP
-    )
-    if min_speedup <= 0:
+    if args.min_speedup is not None and args.min_speedup <= 0:
         print(
-            f"error: --min-speedup must be > 0, got {min_speedup}",
+            f"error: --min-speedup must be > 0, got {args.min_speedup}",
             file=sys.stderr,
         )
         return 2
-    report = run_bench(repeat=args.repeat, seed=args.seed)
+
+    if args.compare_engines:
+        report = compare_engines(repeat=args.repeat, seed=args.seed)
+        path = write_report(report, args.output)
+        rows = [
+            (
+                row["pair"],
+                engine,
+                row["engines"][engine]["seconds"],
+                row["engines"][engine].get("speedup", "-"),
+                {True: "yes", False: "NO"}.get(
+                    row["engines"][engine].get("makespan_identical"), "-"
+                ),
+            )
+            for row in report["pairs"]
+            for engine in report["engines"]
+        ]
+        print(
+            format_table(
+                ["pair", "engine", "seconds", "speedup",
+                 "makespan identical"],
+                rows,
+                title=(
+                    "engine comparison, same host "
+                    f"(best of {report['repeat']}, speedup vs. "
+                    f"{report['baseline_engine']})"
+                ),
+            ),
+            file=out,
+        )
+        aggregate = ", ".join(
+            f"{engine} {speedup}x"
+            for engine, speedup in sorted(
+                report["aggregate_speedup"].items()
+            )
+        )
+        print(
+            f"aggregate speedup vs. {report['baseline_engine']}: {aggregate}",
+            file=out,
+        )
+        print(f"wrote {path}", file=sys.stderr)
+        failed = False
+        mismatched = [
+            f"{row['pair']} ({engine})"
+            for row in report["pairs"]
+            for engine, entry in row["engines"].items()
+            if entry.get("makespan_identical") is False
+        ]
+        if mismatched:
+            print(
+                "error: engines disagree on makespan (bit-identity "
+                f"contract broken) on: {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            failed = True
+        if args.min_speedup is not None:
+            regressed = compare_regressions(report, args.min_speedup)
+            if regressed:
+                detail = ", ".join(
+                    f"{row['pair']}@{row['engine']} ({row['speedup']}x)"
+                    for row in regressed
+                )
+                print(
+                    f"error: same-host speedup below {args.min_speedup}x "
+                    f"on: {detail}",
+                    file=sys.stderr,
+                )
+                failed = True
+        return 1 if failed else 0
+
+    min_speedup = (
+        args.min_speedup if args.min_speedup is not None else DEFAULT_MIN_SPEEDUP
+    )
+    report = run_bench(repeat=args.repeat, seed=args.seed, engine=args.engine)
     # The report is written before any gate: a failing run must still
     # leave its evidence on disk for CI to archive.
     path = write_report(report, args.output)
@@ -733,7 +867,10 @@ def cmd_bench(args, out) -> int:
         format_table(
             ["pair", "seconds", "reference_s", "speedup", "makespan identical"],
             rows,
-            title=f"engine benchmark (best of {report['repeat']})",
+            title=(
+                f"engine benchmark (best of {report['repeat']}, "
+                f"engine={report['engine']})"
+            ),
         ),
         file=out,
     )
@@ -825,6 +962,7 @@ def cmd_serve(args, out) -> int:
         inline_threshold_ms=args.inline_ms,
         max_batch=args.max_batch,
         max_queue=args.max_queue,
+        engine=args.engine,
     )
     store = None if args.no_store else ResultStore(args.cache_dir)
     runner = Runner(store=store)
@@ -1063,7 +1201,9 @@ def cmd_perf(args, out) -> int:
     history_path = args.history if args.history else DEFAULT_HISTORY_PATH
     history = load_history(history_path)
 
-    bench_report = run_bench(pairs=pairs, repeat=args.repeat, seed=args.seed)
+    bench_report = run_bench(
+        pairs=pairs, repeat=args.repeat, seed=args.seed, engine=args.engine
+    )
     fresh = records_from_bench(bench_report, at)
 
     if args.soak > 0:

@@ -138,16 +138,26 @@ def append_records(records: Sequence[PerfRecord], path=DEFAULT_HISTORY_PATH) -> 
 # Adapters: bench reports / soak runs -> records
 # ----------------------------------------------------------------------
 def records_from_bench(report: Mapping, at: str) -> List[PerfRecord]:
-    """Per-pair records from a :func:`repro.harness.bench.run_bench` report."""
+    """Per-pair records from a :func:`repro.harness.bench.run_bench` report.
+
+    A non-default engine gets its own series per pair
+    (``"SA-thaliana/spawn@fast"``): the engines' timings must never mix
+    in one trailing window, or a default-engine run right after a fast
+    baseline would read as a timing regression.  Makespans are engine-
+    independent by contract, so drift detection still bites within each
+    series.
+    """
+    engine = str(report.get("engine", "default"))
+    suffix = "" if engine == "default" else f"@{engine}"
     records = []
     for row in report.get("pairs", []):
-        details = {"makespan": row.get("makespan")}
+        details = {"makespan": row.get("makespan"), "engine": engine}
         if row.get("speedup") is not None:
             details["speedup"] = row["speedup"]
         records.append(
             PerfRecord(
                 kind=BENCH,
-                label=row["pair"],
+                label=row["pair"] + suffix,
                 value=float(row["seconds"]),
                 at=at,
                 details=details,

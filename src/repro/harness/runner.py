@@ -42,13 +42,18 @@ class RunConfig:
     cta_threads: Optional[int] = None  # child CTA size override (Fig. 7)
     stream_policy: str = PER_CHILD  # Fig. 8 compares per-parent-cta
     trace_interval: float = 1000.0
+    engine: str = "default"  # simulation core: "default" or "fast"
 
     def key(self) -> Tuple:
         """Cache identity: every field that changes the simulation output.
 
         ``trace_interval`` belongs here — it changes the sampled timeline
         (and therefore the stored stats), so two runs differing only in
-        trace interval must not share a cache entry.
+        trace interval must not share a cache entry.  ``engine`` belongs
+        here too: the fast core is certified bit-identical, but a cache
+        that conflated the two engines could never *demonstrate* that
+        (and a divergence bug would silently serve one engine's results
+        as the other's).
         """
         return (
             self.benchmark,
@@ -57,6 +62,7 @@ class RunConfig:
             self.cta_threads,
             self.stream_policy,
             self.trace_interval,
+            self.engine,
         )
 
 
@@ -113,6 +119,7 @@ class Runner:
         max_events: int = 50_000_000,
         store: Optional[ResultStore] = None,
         cache_dir=None,
+        default_engine: str = "default",
     ):
         self.config = config or GPUConfig()
         self.max_events = max_events
@@ -121,6 +128,22 @@ class Runner:
             store = ResultStore(cache_dir)
         #: Optional persistent layer; None keeps the runner memory-only.
         self.store = store
+        self._simulator_class(default_engine)  # validate at the door
+        #: Engine applied to configs that did not pick one themselves
+        #: (``suite --engine fast``: experiment modules build their own
+        #: RunConfigs and must still hit the fanned-out cache entries).
+        #: An explicit non-default ``RunConfig.engine`` always wins.
+        self.default_engine = default_engine
+
+    def _effective_config(self, run_config: RunConfig) -> RunConfig:
+        """Resolve the runner's default engine into the config.
+
+        Resolution happens *before* the cache key is computed, so cache
+        entries always name the engine that actually ran.
+        """
+        if self.default_engine != "default" and run_config.engine == "default":
+            return dataclasses.replace(run_config, engine=self.default_engine)
+        return run_config
 
     def run(
         self,
@@ -152,6 +175,7 @@ class Runner:
             tracer = (
                 checker if tracer is None else MultiTracer([tracer, checker])
             )
+        run_config = self._effective_config(run_config)
         key = run_config.key()
         if tracer is None:
             cached = self._cache.get(key)
@@ -178,7 +202,7 @@ class Runner:
             app = benchmark.dp(run_config.seed, cta_threads=run_config.cta_threads)
         policy = sch.make_policy(spec, benchmark)
         stream_policy = self._stream_policy(run_config.stream_policy)
-        sim = GPUSimulator(
+        sim = self._simulator_class(run_config.engine)(
             config=self.config,
             policy=policy,
             stream_policy=stream_policy,
@@ -203,6 +227,7 @@ class Runner:
         counters fire — this is the parallel harness's pre-filter, not a
         run.
         """
+        run_config = self._effective_config(run_config)
         cached = self._cache.get(run_config.key())
         if cached is not None:
             return cached
@@ -219,6 +244,7 @@ class Runner:
         Used after simulating locally and by the parallel harness to merge
         worker results back into the shared caches.
         """
+        run_config = self._effective_config(run_config)
         self._cache[run_config.key()] = result
         if self.store is not None:
             self._store_save(run_config, result)
@@ -302,6 +328,21 @@ class Runner:
         if name == PER_PARENT_CTA:
             return PerParentCTAStream()
         raise HarnessError(f"unknown stream policy {name!r}")
+
+    @staticmethod
+    def _simulator_class(engine: str):
+        if engine == "default":
+            return GPUSimulator
+        # Deferred import: the fast core (and numpy array state) stays out
+        # of the module graph for default-engine runs.
+        from repro.sim.fast import ENGINES
+
+        cls = ENGINES.get(engine)
+        if cls is None:
+            raise HarnessError(
+                f"unknown engine {engine!r} (choose from {sorted(ENGINES)})"
+            )
+        return cls
 
     def cache_size(self) -> int:
         return len(self._cache)

@@ -41,7 +41,9 @@ from repro.sim.engine import SimResult
 #: in a way that invalidates stored results.  The version participates in
 #: the hashed key, so a bump orphans (rather than misreads) old entries.
 #: v2: the run portion of the key document is RunConfig.key() verbatim.
-SCHEMA_VERSION = 2
+#: v3: RunConfig grew the ``engine`` field (fast vs. reference results
+#: must never collide, even though the fast core is certified identical).
+SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

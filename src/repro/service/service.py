@@ -126,10 +126,12 @@ class ServiceConfig:
     max_queue: Optional[int] = None  # admitted-but-unfinished job cap
     ewma_alpha: float = 0.3  # cost model responsiveness
     ewma_window: int = 32  # cost model observation window
+    engine: str = "default"  # simulation core applied to plain requests
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise HarnessError(f"jobs must be >= 1, got {self.jobs}")
+        Runner._simulator_class(self.engine)  # validate at the door
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise HarnessError(
                 f"deadline_ms must be positive, got {self.deadline_ms}"
@@ -263,6 +265,11 @@ class SimulationService:
             await self.start()
         submitted_at = time.perf_counter()
         config = as_run_config(entry, seed)
+        if self.config.engine != "default" and config.engine == "default":
+            # The service-level engine applies to requests that did not
+            # pick one themselves (tuples, traffic files, replayed
+            # ledgers); an explicit RunConfig.engine always wins.
+            config = replace(config, engine=self.config.engine)
         # Validate eagerly so one bad request cannot poison a batch.
         get_benchmark(config.benchmark)
         sch.SchemeSpec.parse(config.scheme)

@@ -97,24 +97,34 @@ class EventQueue:
             self._cancelled = 0
 
     def pop(self) -> Optional[Event]:
-        """Pop the next live event, advancing the clock; None if drained."""
+        """Pop the next live event, advancing the clock; None if drained.
+
+        The live-count check is hoisted above any heap access: a drained
+        queue (empty, or holding only cancelled stragglers below the
+        compaction threshold) answers from the counters alone, with zero
+        heap ops — this is the engine's once-per-run exit test and every
+        idle-queue poll.
+        """
         heap = self._heap
-        while heap:
+        if len(heap) == self._cancelled:  # no live events
+            return None
+        while True:
             time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 self._cancelled -= 1
                 continue
             self.now = time
             return event
-        return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without popping it."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        if len(heap) == self._cancelled:  # no live events: zero heap ops
+            return None
+        while heap[0][2].cancelled:
             heapq.heappop(heap)
             self._cancelled -= 1
-        return heap[0][0] if heap else None
+        return heap[0][0]
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain the queue, running callbacks; returns events executed."""

@@ -1,0 +1,1067 @@
+"""Batch-stepping engine core, certified bit-identical to the default.
+
+``repro.sim.fast`` plugs an alternative set of components into the
+factory seams on :class:`~repro.sim.engine.GPUSimulator`
+(``queue_factory`` / ``smx_factory`` / ``gmu_factory`` /
+``memory_factory`` — the same seams :mod:`repro.check.reference` uses for
+its deliberately naive differential implementations, pointed the other
+way):
+
+* :class:`FastEventQueue` — a bucketed calendar queue.  Events are kept
+  in per-timestamp buckets (appended in ``seq`` order) plus a heap of
+  the distinct timestamps, so the whole same-time batch is drained in
+  one O(bucket) sweep instead of one ``heappop`` per event, and
+  ``schedule`` is an O(1) dict append in the common case.
+* :class:`FastSMX` — resident-CTA progress state (consumed cycles,
+  critical-path totals, next decision/completion horizons) lives in
+  parallel arrays detached from the CTA objects; the horizon min is
+  cached so the reschedule-after-every-placement pattern costs O(1) per
+  placement instead of O(residents), and a pending-decision counter
+  gives O(1) rejection for the per-event scans.  (The arrays are plain
+  lists, not numpy: at <=16 residents per SMX, ufunc dispatch overhead
+  made every per-event numpy op slower than its list form — see the
+  class docstring and DESIGN §13 for the measurements.)
+* :class:`FastGMU` — maintains a count of dispatchable head kernels so
+  the dispatch loop's round-robin scan is skipped entirely when nothing
+  can dispatch (the dominant case in steady state).
+* :class:`FastMemorySystem` — the single-region footprint path (every
+  child CTA, every serial fallback) feeds the L2 a ``range`` instead of
+  materializing the line list.
+* :class:`FastSimulator` — selects the components above and overrides
+  the hottest engine paths (CTA dispatch, SMX search, child-spec
+  materialization) with per-spec caching.
+
+**The ordering contract.**  Event *ordering* is the bit-identity hazard:
+the certified property is that the fast core executes callbacks in
+exactly the reference (time, seq) total order.  Batch-draining a
+timestamp bucket is safe because ``seq`` is globally monotonic — any
+event scheduled *during* the batch (at the same timestamp) gets a seq
+greater than every drained event, lands in a fresh bucket for that
+timestamp, and is drained next, exactly where the reference heap would
+have delivered it.  What is *not* safe is changing which seq an event
+gets: deferring the cancel/reschedule churn (tried and reverted in an
+earlier optimization pass) renumbers the surviving events and reorders
+same-time ties.  The fast core therefore schedules and cancels exactly
+when the reference engine does, and every arithmetic statement on the
+simulated timeline is kept operation-for-operation identical (numpy
+float64 elementwise ops match Python float scalar ops bit-for-bit when
+the per-element operation order is the same).
+
+Certification: ``repro check --engine fast`` replays the committed
+golden-trace corpus through :class:`FastSimulator` and diffs canonical
+event streams; the differential and hypothesis property tests assert
+bit-identical stats and traces against the default engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from functools import partial
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.obs.tracer import KERNEL_FIRST_DISPATCH, NULL_TRACER, Tracer
+from repro.sim.config import WARP_SIZE, GPUConfig
+from repro.sim.engine import GPUSimulator
+from repro.sim.events import _COMPACT_MIN, Event, EventQueue
+from repro.sim.gmu import GMU
+from repro.sim.instances import (
+    EPSILON,
+    CTAInstance,
+    CTAState,
+    KernelInstance,
+    KernelState,
+    PendingDecision,
+)
+from repro.sim.kernel import ChildRequest, KernelSpec
+from repro.sim.memory import MemorySystem
+from repro.sim.smx import SMX
+
+
+class FastEventQueue(EventQueue):
+    """Calendar/bucket event queue draining whole same-time batches.
+
+    Events scheduled for the same timestamp share one bucket (appended
+    in ``seq`` order, which *is* arrival order because ``seq`` is
+    monotonic); a heap orders the distinct timestamps.  ``pop`` drains
+    the earliest bucket once and then serves its events in O(1), so a
+    burst of same-time events costs one heap operation total.
+
+    Drained events are detached from the queue (``_queue = None``):
+    cancelling one after the drain no longer perturbs the dead-entry
+    counter, and the cancellation is honoured at delivery time instead —
+    observably identical to the reference heap, where the entry would
+    still be sitting in the heap and be skipped on pop.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[float, List[Event]] = {}
+        self._times: List[float] = []
+        self._size = 0  # events currently held in buckets (incl. cancelled)
+        self._next_seq = 0
+        self._cancelled = 0  # dead entries still sitting in buckets
+        self.now: float = 0.0
+        # The drained-but-undelivered remainder of the current batch.
+        self._pending: List[Event] = []
+        self._pending_pos = 0
+
+    def __len__(self) -> int:
+        n = self._size - self._cancelled
+        pending = self._pending
+        for i in range(self._pending_pos, len(pending)):
+            if not pending[i].cancelled:
+                n += 1
+        return n
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback)
+        event._queue = self
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
+        self._size += 1
+        return event
+
+    def _note_cancelled(self) -> None:
+        """A scheduled event was cancelled; compact if mostly dead."""
+        self._cancelled += 1
+        if self._size >= _COMPACT_MIN and self._cancelled * 2 > self._size:
+            buckets: Dict[float, List[Event]] = {}
+            size = 0
+            for time, bucket in self._buckets.items():
+                live = [e for e in bucket if not e.cancelled]
+                if live:
+                    buckets[time] = live
+                    size += len(live)
+            self._buckets = buckets
+            # A sorted list is a valid binary min-heap.
+            self._times = sorted(buckets)
+            self._size = size
+            self._cancelled = 0
+
+    def _drain_batch(self) -> Optional[List[Event]]:
+        """Detach and return all live events at the earliest timestamp."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = heapq.heappop(times)
+            bucket = buckets.pop(time)
+            self._size -= len(bucket)
+            batch: Optional[List[Event]] = None
+            for event in bucket:
+                event._queue = None
+                if event.cancelled:
+                    self._cancelled -= 1
+                elif batch is None:
+                    batch = [event]
+                else:
+                    batch.append(event)
+            if batch is not None:
+                self.now = time
+                return batch
+        return None
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live event, advancing the clock; None if drained."""
+        pending = self._pending
+        i = self._pending_pos
+        n = len(pending)
+        while i < n:
+            event = pending[i]
+            i += 1
+            if not event.cancelled:
+                self._pending_pos = i
+                return event
+        if n:
+            self._pending = []
+        self._pending_pos = 0
+        batch = self._drain_batch()
+        if batch is None:
+            return None
+        self._pending = batch
+        self._pending_pos = 1
+        return batch[0]
+
+    def pop_batch(self) -> Optional[List[Event]]:
+        """All live events sharing the next timestamp, advancing the clock.
+
+        Callers must re-check ``event.cancelled`` before executing each
+        event: a callback earlier in the batch may cancel a later one.
+        """
+        first = self.pop()
+        if first is None:
+            return None
+        batch = [first]
+        pending = self._pending
+        for i in range(self._pending_pos, len(pending)):
+            event = pending[i]
+            if not event.cancelled:
+                batch.append(event)
+        self._pending = []
+        self._pending_pos = 0
+        return batch
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without popping it."""
+        pending = self._pending
+        for i in range(self._pending_pos, len(pending)):
+            if not pending[i].cancelled:
+                return self.now
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            for event in bucket:
+                if not event.cancelled:
+                    return time
+            heapq.heappop(times)
+            del buckets[time]
+            self._size -= len(bucket)
+            self._cancelled -= len(bucket)
+            for event in bucket:
+                event._queue = None
+        return None
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue batch-wise, running callbacks; returns count.
+
+        Execution order and the budget-exhaustion check are identical to
+        :meth:`EventQueue.run`; cancellations that land after an event
+        was drained are honoured at delivery time.
+        """
+        executed = 0
+        pending = self._pending
+        pos = self._pending_pos
+        if pos < len(pending):
+            # Remainder left by an external pop() before run() was called.
+            batch: Optional[List[Event]] = pending[pos:]
+            self._pending = []
+            self._pending_pos = 0
+        else:
+            batch = self._drain_batch()
+        drain = self._drain_batch
+        unlimited = max_events is None
+        while batch is not None:
+            for event in batch:
+                if event.cancelled:
+                    continue
+                if not unlimited and executed >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {executed} events "
+                        "(likely a livelock in the simulated system)"
+                    )
+                event.callback()
+                executed += 1
+            batch = drain()
+        if not unlimited and executed >= max_events:
+            raise SimulationError(
+                f"event budget exhausted after {executed} events "
+                "(likely a livelock in the simulated system)"
+            )
+        return executed
+
+
+class FastSMX(SMX):
+    """SMX with resident-CTA progress state in parallel arrays.
+
+    ``_consumed`` / ``_total`` / ``_target`` are row-aligned with
+    ``resident``; they are authoritative for progress, and
+    ``cta.consumed`` is written back only when the engine is about to
+    act on the CTA (fired decisions, completion, removal).  Every
+    arithmetic statement mirrors the scalar reference statement
+    per-element, so the stored float64 values are bit-identical.
+
+    The arrays are plain Python lists, deliberately: the original plan
+    (and an earlier revision of this class) kept them as numpy float64
+    arrays, but with residency capped at ``max_ctas_per_smx`` (16 in the
+    paper's configuration) every per-event operation is a <=16-element
+    op, and numpy's per-ufunc dispatch overhead made *each one* slower
+    than the list form (measured ~1.7us vs ~0.7us for the bulk advance,
+    ~2.2us vs ~1.2us for the horizon min; see DESIGN §13).  numpy stays
+    where batches are real — the per-spec dispatch caches and child
+    templates below.
+
+    Beyond the layout, two structural wins over the reference SMX:
+
+    * The event horizon ``min(next_target - consumed)`` is cached:
+      placements at the same timestamp update it incrementally (``min``
+      is order-independent, so the incremental value equals the full
+      reduction bit-for-bit), turning the engine's
+      reschedule-per-placement pattern from O(residents) into O(1).
+    * ``_dec_count`` counts residents with a pending decision, giving
+      O(1) rejection for the fired-decision scan (most events concern
+      pure child CTAs, which never have decisions) and for the
+      completion scan when every resident still has one.
+    """
+
+    __slots__ = ("_consumed", "_total", "_target", "_has_dec",
+                 "_dec_count", "_slack", "_slack_valid")
+
+    def __init__(self, index: int, config: GPUConfig):
+        super().__init__(index, config)
+        self._consumed: List[float] = []
+        self._total: List[float] = []
+        self._target: List[float] = []
+        self._has_dec: List[bool] = []
+        self._dec_count = 0  # residents with a pending decision
+        self._slack = 0.0
+        self._slack_valid = False
+
+    # ------------------------------------------------------------------
+    # Progress integration
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> None:
+        last = self._last_update
+        if now <= last:
+            if now - last < -EPSILON:
+                raise SimulationError(
+                    f"SMX {self.index} asked to advance backwards "
+                    f"({last} -> {now})"
+                )
+            return
+        consumed = self._consumed
+        if consumed:
+            step = self.scale * (now - last)
+            total = self._total
+            for i in range(len(consumed)):
+                c = consumed[i] + step
+                t = total[i]
+                consumed[i] = c if c < t else t
+            self._slack_valid = False
+        self._last_update = now
+
+    def add(self, cta: CTAInstance, now: float) -> None:
+        if not self.can_fit(threads=cta.num_threads, regs=cta.regs,
+                            shmem=cta.shmem):
+            raise SimulationError(f"CTA {cta!r} does not fit on SMX {self.index}")
+        self.advance(now)
+        cta.smx_index = self.index
+        self.resident.append(cta)
+        self._consumed.append(0.0)
+        self._total.append(cta.total_work)
+        self._target.append(cta.next_target)
+        has_dec = cta.next_decision < len(cta.decisions)
+        self._has_dec.append(has_dec)
+        if has_dec:
+            self._dec_count += 1
+        self.used_threads += cta.num_threads
+        self.used_regs += cta.regs
+        self.used_shmem += cta.shmem
+        self.used_warps += cta.num_warps
+        self._total_demand += cta.demand
+        if self._slack_valid:
+            # New CTA's slack is next_target - 0.0; min() is
+            # order-independent, so updating incrementally matches the
+            # full reduction bit-for-bit.
+            slack = cta.next_target
+            if slack < self._slack:
+                self._slack = slack
+
+    def remove(self, cta: CTAInstance, now: float) -> None:
+        self.advance(now)
+        try:
+            i = self.resident.index(cta)
+        except ValueError:
+            raise SimulationError(
+                f"CTA {cta!r} not resident on SMX {self.index}"
+            ) from None
+        cta.consumed = self._consumed[i]
+        if self._has_dec[i]:
+            self._dec_count -= 1
+        del self.resident[i]
+        del self._consumed[i]
+        del self._total[i]
+        del self._target[i]
+        del self._has_dec[i]
+        self.used_threads -= cta.num_threads
+        self.used_regs -= cta.regs
+        self.used_shmem -= cta.shmem
+        self.used_warps -= cta.num_warps
+        self._total_demand -= cta.demand
+        if self._total_demand < EPSILON:
+            self._total_demand = 0.0
+        cta.smx_index = -1
+        self._slack_valid = False
+
+    def refresh_demand(self, cta: CTAInstance, now: float) -> None:
+        self.advance(now)
+        old = cta.demand
+        new = cta.refresh_demand()
+        self._total_demand += new - old
+        if self._total_demand < EPSILON:
+            self._total_demand = 0.0
+        i = self.resident.index(cta)
+        self._total[i] = cta.total_work
+        self._target[i] = cta.next_target
+        has_dec = cta.next_decision < len(cta.decisions)
+        if has_dec != self._has_dec[i]:
+            self._dec_count += 1 if has_dec else -1
+            self._has_dec[i] = has_dec
+        self._slack_valid = False
+
+    # ------------------------------------------------------------------
+    # Event horizon
+    # ------------------------------------------------------------------
+    def next_event_time(self, now: float) -> Optional[float]:
+        if not self.resident:
+            return None
+        self.advance(now)
+        if self._slack_valid:
+            slack = self._slack
+        else:
+            consumed = self._consumed
+            target = self._target
+            slack = min(
+                target[i] - consumed[i] for i in range(len(consumed))
+            )
+            self._slack = slack
+            self._slack_valid = True
+        if slack <= 0.0:
+            return now
+        return now + slack / self.scale
+
+    def ctas_with_fired_decisions(self) -> List[CTAInstance]:
+        # O(1) rejection: most SMX events fire on CTAs with no pending
+        # decision (pure children) — skip the scan entirely then.
+        if self._dec_count == 0:
+            return []
+        resident = self.resident
+        consumed = self._consumed
+        fired = []
+        for i in range(len(resident)):
+            cta = resident[i]
+            if (
+                cta.next_decision < len(cta.decisions)
+                and cta.next_target <= consumed[i] + EPSILON
+            ):
+                # Sync progress back: pop_fired_decisions thresholds on it.
+                cta.consumed = consumed[i]
+                fired.append(cta)
+        return fired
+
+    def pop_finished(self, now: float) -> List[CTAInstance]:
+        self.advance(now)
+        resident = self.resident
+        n = len(resident)
+        # A CTA with a pending decision is never compute_finished, so when
+        # every resident still has one there is nothing to scan for.
+        if n == 0 or self._dec_count == n:
+            return []
+        consumed = self._consumed
+        total = self._total
+        target = self._target
+        finished: List[CTAInstance] = []
+        rows: List[int] = []
+        for i in range(n):
+            cta = resident[i]
+            if (
+                consumed[i] >= total[i] - EPSILON
+                and cta.next_decision >= len(cta.decisions)
+            ):
+                cta.consumed = consumed[i]
+                finished.append(cta)
+                rows.append(i)
+        if not finished:
+            return []
+        # Compact row-by-row from the highest index so earlier row
+        # numbers stay valid (C-level memmoves on plain lists).  Finished
+        # CTAs never have a pending decision, so _dec_count is unchanged.
+        has_dec = self._has_dec
+        for j in range(len(rows) - 1, -1, -1):
+            i = rows[j]
+            del resident[i]
+            del consumed[i]
+            del total[i]
+            del target[i]
+            del has_dec[i]
+        # Detach in resident order, subtracting demand sequentially with
+        # the reference's per-step underflow clamp — float-identical to
+        # calling remove() once per finished CTA.
+        for cta in finished:
+            self.used_threads -= cta.num_threads
+            self.used_regs -= cta.regs
+            self.used_shmem -= cta.shmem
+            self.used_warps -= cta.num_warps
+            self._total_demand -= cta.demand
+            if self._total_demand < EPSILON:
+                self._total_demand = 0.0
+            cta.smx_index = -1
+        self._slack_valid = False
+        return finished
+
+
+class FastGMU(GMU):
+    """GMU with an O(1) short-circuit for fruitless dispatch scans.
+
+    ``_dispatchable`` counts bound-stream heads in EXECUTING state that
+    still have undispatched CTAs — exactly the set
+    :meth:`GMU.dispatchable_kernels` yields.  The engine notifies the
+    GMU when it consumes a head's last CTA index
+    (:meth:`note_cta_taken`); heads enter the set only on the
+    PENDING -> EXECUTING transition (every fresh head has all its CTAs
+    left).  When the count is zero the round-robin scan — the hottest
+    loop on scan-heavy workloads — is skipped without touching the
+    cursor, which is also what the reference scan does when it yields
+    nothing.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        *,
+        tracer: Tracer = NULL_TRACER,
+        lifo_bind: bool = False,
+        reverse_rr: bool = False,
+    ):
+        super().__init__(
+            config, tracer=tracer, lifo_bind=lifo_bind, reverse_rr=reverse_rr
+        )
+        self._dispatchable = 0
+
+    def _refresh_head(self, swq: int) -> None:
+        queue = self._streams.get(swq)
+        if queue and queue[0].state is KernelState.PENDING:
+            head = queue[0]
+            head.state = KernelState.EXECUTING
+            if head.next_cta_index < head.num_ctas:
+                self._dispatchable += 1
+
+    def note_cta_taken(self, kernel: KernelInstance) -> None:
+        """Engine hook: a CTA index was just consumed from ``kernel``."""
+        if kernel.next_cta_index >= kernel.num_ctas:
+            self._dispatchable -= 1
+
+    def dispatchable_kernels(self) -> Iterator[KernelInstance]:
+        if self._dispatchable <= 0:
+            return iter(())
+        return super().dispatchable_kernels()
+
+
+class FastMemorySystem(MemorySystem):
+    """Memory system with a materialization-free single-region path.
+
+    The engine's footprint calls are overwhelmingly single-region (every
+    contiguous child CTA, every serial fallback, every launch header);
+    for those the line stream is a ``range`` handed straight to the L2
+    instead of an appended list.  A lone region has no consecutive
+    duplicates to collapse, and the stride-sampling formula indexes the
+    arithmetic sequence directly, so the streamed lines are identical.
+    """
+
+    def cta_access(
+        self, regions, smx_index: int = -1, now: float = 0.0
+    ) -> Tuple[float, float]:
+        if len(regions) == 1:
+            base, extent = regions[0]
+            if extent <= 0:
+                lines = ()
+            else:
+                line_bytes = self.l2.line_bytes
+                first = base // line_bytes
+                last = (base + extent - 1) // line_bytes
+                count = last - first + 1
+                max_lines = self.max_lines_per_cta
+                if count > max_lines:
+                    step = count / max_lines
+                    lines = [first + int(i * step) for i in range(max_lines)]
+                else:
+                    lines = range(first, last + 1)
+            return self._access_lines(lines, smx_index, now)
+        return self._access_lines(self.region_lines(regions), smx_index, now)
+
+
+def _spec_dispatch_cache(spec: KernelSpec) -> tuple:
+    """Per-spec dispatch constants, cached on the spec instance.
+
+    Everything here is a pure function of the (immutable) spec content:
+    per-CTA thread ranges, warp counts, executed-item sums (via an int64
+    prefix sum — exact), and for contiguous child grids the per-CTA
+    footprint base/extent and uniform per-warp item count.
+    """
+    cache = spec.__dict__.get("_fast_dispatch")
+    if cache is not None:
+        return cache
+    tpc = spec.threads_per_cta
+    num_threads = spec.num_threads
+    num_ctas = spec.num_ctas
+    thread_items = spec.thread_items
+    starts = np.arange(num_ctas, dtype=np.int64) * tpc
+    stops = np.minimum(starts + tpc, num_threads)
+    sizes = stops - starts
+    num_warps = ((sizes + (WARP_SIZE - 1)) // WARP_SIZE).tolist()
+    prefix = np.zeros(num_threads + 1, dtype=np.int64)
+    np.cumsum(thread_items, out=prefix[1:])
+    executed = (prefix[stops] - prefix[starts]).tolist()
+    if spec.contiguous_footprint:
+        per_warp = np.where(
+            sizes > 1, thread_items[starts], thread_items[stops - 1]
+        ).tolist()
+    else:
+        per_warp = None
+    if spec.contiguous_footprint and spec.mem_bases is not None:
+        mem_bases = spec.mem_bases
+        first = mem_bases[starts]
+        extents = (
+            mem_bases[stops - 1] - first
+            + thread_items[stops - 1] * spec.mem_stride
+        )
+        bases = first.tolist()
+        extents = extents.tolist()
+    else:
+        bases = None
+        extents = None
+    dec_tids = sorted(spec.child_requests) if spec.child_requests else None
+    cache = (
+        starts.tolist(),
+        stops.tolist(),
+        sizes.tolist(),
+        num_warps,
+        executed,
+        per_warp,
+        bases,
+        extents,
+        dec_tids,
+    )
+    spec._fast_dispatch = cache
+    return cache
+
+
+def _make_cta(
+    kernel: KernelInstance,
+    cta_index: int,
+    *,
+    num_threads: int,
+    num_warps: int,
+    regs: int,
+    shmem: int,
+    warp_total: List[float],
+    warp_issue: List[float],
+    decisions: List[PendingDecision],
+    demand_scale: float,
+) -> CTAInstance:
+    """Validation-free :class:`CTAInstance` construction.
+
+    Field-for-field (and float-operation-for-float-operation) what
+    ``CTAInstance.__init__`` assigns, minus the three consistency raises —
+    all guaranteed-true for CTAs the dispatch path itself materializes
+    (warp arrays built to ``num_warps``, positive critical paths, decision
+    points derived from warp totals).  The ``decisions`` list is owned by
+    the caller and never reused, so aliasing it is safe.
+    """
+    cta = CTAInstance.__new__(CTAInstance)
+    cta.kernel = kernel
+    cta.cta_index = cta_index
+    cta.num_threads = num_threads
+    cta.num_warps = num_warps
+    cta.regs = regs
+    cta.shmem = shmem
+    cta.consumed = 0.0
+    cta.warp_total = warp_total
+    cta.warp_issue = warp_issue
+    cta.warp_base_total = warp_total
+    cta.warp_base_issue = warp_issue
+    cta._thread_extra = None
+    cta._warp_extra = None
+    cta.demand_scale = demand_scale
+    demand = 0.0
+    for total, issue in zip(warp_total, warp_issue):
+        demand += min(issue / total, 1.0) if total > 0 else 1.0
+    cta.demand = max(demand * demand_scale, 1e-3)
+    cta.state = CTAState.RUNNING
+    cta.smx_index = -1
+    cta.dispatch_time = 0.0
+    cta.compute_done_time = None
+    cta.outstanding_children = 0
+    if decisions:
+        decisions.sort(key=_decision_key)
+        cta.decisions = decisions
+        cta.next_decision = 0
+        cta.total_work = max(warp_total)
+        cta.next_target = decisions[0].at_consumed
+    else:
+        cta.decisions = decisions
+        cta.next_decision = 0
+        cta.total_work = max(warp_total)
+        cta.next_target = cta.total_work
+    return cta
+
+
+def _decision_key(d: PendingDecision) -> float:
+    return d.at_consumed
+
+
+class FastSimulator(GPUSimulator):
+    """GPU simulator assembled from the fast components.
+
+    Selected via ``RunConfig(engine="fast")`` / ``--engine fast``;
+    certified bit-identical to :class:`~repro.sim.engine.GPUSimulator`
+    by the golden-trace corpus, the differential validator, and the
+    conformance invariants (see module docstring).
+    """
+
+    queue_factory = FastEventQueue
+    smx_factory = FastSMX
+    gmu_factory = FastGMU
+    memory_factory = FastMemorySystem
+
+    def _reset(self) -> None:
+        super()._reset()
+        # One bound callback per SMX instead of a fresh lambda per
+        # reschedule (tens of thousands per run).
+        self._smx_callbacks = [
+            partial(self._on_smx_event, smx) for smx in self.smxs
+        ]
+        # Child-grid template cache: grids materialized from identical
+        # ChildRequests (which recur once per parent thread) share their
+        # thread_items array and the whole per-spec dispatch cache; only
+        # the absolute footprint bases depend on the request's mem_base.
+        self._child_templates: Dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def _dispatch_round(self) -> bool:
+        free_slots = (
+            self.config.max_ctas_per_smx * len(self.smxs) - self._res_total_ctas
+        )
+        if free_slots == 0:
+            return False
+        placed = False
+        gmu = self.gmu
+        note_taken = gmu.note_cta_taken  # FastGMU; dtbl heads bypass the GMU
+        for kernel in gmu.dispatchable_kernels():
+            if self._place_cta_of(kernel):
+                note_taken(kernel)
+                placed = True
+                free_slots -= 1
+                if free_slots == 0:
+                    return placed
+        while self._dtbl_pending:
+            head = self._dtbl_pending[0]
+            if not head.has_undispatched_ctas:
+                self._dtbl_pending.popleft()
+                continue
+            if not self._place_cta_of(head):
+                break
+            placed = True
+        return placed
+
+    def _find_smx(self, *, threads: int, regs: int, shmem: int) -> Optional[SMX]:
+        smxs = self.smxs
+        n = len(smxs)
+        cfg = self.config
+        max_ctas = cfg.max_ctas_per_smx
+        max_threads = cfg.max_threads_per_smx
+        max_regs = cfg.registers_per_smx
+        max_shmem = cfg.shared_mem_per_smx
+        rr = self._smx_rr
+        for offset in range(n):
+            index = rr + offset
+            if index >= n:
+                index -= n
+            smx = smxs[index]
+            if (
+                len(smx.resident) < max_ctas
+                and smx.used_threads + threads <= max_threads
+                and smx.used_regs + regs <= max_regs
+                and smx.used_shmem + shmem <= max_shmem
+            ):
+                self._smx_rr = (rr + offset + 1) % n
+                return smx
+        return None
+
+    def _dispatch_cta(self, kernel: KernelInstance, smx: SMX) -> None:
+        now = self.queue.now
+        spec = kernel.spec
+        cache = spec.__dict__.get("_fast_dispatch")
+        if cache is None:
+            cache = _spec_dispatch_cache(spec)
+        (starts, stops, sizes, warps, executed_sums, per_warps, bases,
+         extents, dec_tids) = cache
+        cta_index = kernel.next_cta_index
+        if cta_index >= kernel.num_ctas:
+            raise SimulationError(
+                f"kernel {spec.name!r} has no CTAs left to dispatch"
+            )
+        kernel.next_cta_index = cta_index + 1
+        record = kernel.record
+        if record.first_dispatch_time is None:
+            record.first_dispatch_time = now
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    KERNEL_FIRST_DISPATCH,
+                    ts=now,
+                    kernel_id=kernel.kernel_id,
+                    kernel=spec.name,
+                    queuing_latency=record.queuing_latency,
+                )
+
+        start = starts[cta_index]
+        stop = stops[cta_index]
+        n = sizes[cta_index]
+        items = None
+        # Memory footprint of the CTA's unconditional work.
+        if spec.mem_bases is None:
+            stall = self.memory.stall_cycles(1.0)
+        elif bases is not None:
+            stall, _ = self.memory.cta_access(
+                [(bases[cta_index], extents[cta_index])], smx.index, now
+            )
+        else:
+            items = spec.thread_items[start:stop]
+            stall, _ = self.memory.cta_access_arrays(
+                spec.mem_bases[start:stop],
+                items * spec.mem_stride,
+                smx.index,
+                now,
+            )
+
+        # Per-warp critical path and issue occupancy.
+        cost_total = spec.cycles_per_item + spec.accesses_per_item * stall
+        issue_frac = spec.cycles_per_item / cost_total if cost_total > 0 else 0.0
+        init = self.cta_init_cycles
+        num_warps = warps[cta_index]
+        if per_warps is not None:
+            per_warp = per_warps[cta_index]
+            wt = init + per_warp * cost_total
+            wi = init + per_warp * cost_total * issue_frac
+            warp_total = [wt] * num_warps
+            warp_issue = [wi] * num_warps
+        else:
+            if items is None:
+                items = spec.thread_items[start:stop]
+            thread_total = items * cost_total
+            warp_starts = np.arange(0, n, WARP_SIZE)
+            warp_max = np.maximum.reduceat(thread_total, warp_starts)
+            warp_total = (init + warp_max).tolist()
+            warp_issue = (init + warp_max * issue_frac).tolist()
+
+        decisions: List[PendingDecision] = []
+        if dec_tids is not None:
+            child_requests = spec.child_requests
+            pos = bisect_left(dec_tids, start)
+            end = len(dec_tids)
+            while pos < end:
+                tid = dec_tids[pos]
+                if tid >= stop:
+                    break
+                pos += 1
+                warp = (tid - start) // WARP_SIZE
+                wt_warp = warp_total[warp]
+                for req in child_requests[tid]:
+                    decisions.append(
+                        PendingDecision(
+                            at_consumed=req.at_fraction * wt_warp,
+                            warp=warp,
+                            tid=tid,
+                            request=req,
+                        )
+                    )
+
+        cta = _make_cta(
+            kernel,
+            cta_index,
+            num_threads=spec.threads_per_cta,
+            num_warps=len(warp_total),
+            regs=spec.threads_per_cta * spec.regs_per_thread,
+            shmem=spec.shmem_per_cta,
+            warp_total=warp_total,
+            warp_issue=warp_issue,
+            decisions=decisions,
+            demand_scale=self.latency_hiding,
+        )
+        if kernel.is_child:
+            self.stats.items_in_child += executed_sums[cta_index]
+        else:
+            self.stats.items_in_parent += executed_sums[cta_index]
+        self._place_on_smx(cta, smx, now)
+
+    # ------------------------------------------------------------------
+    # Child kernel materialization
+    # ------------------------------------------------------------------
+    def _fast_child_spec(self, req: ChildRequest, depth: int) -> KernelSpec:
+        """``spec_from_request`` with cached grid arrays, validation-free.
+
+        The produced spec is field-for-field what
+        :func:`~repro.sim.kernel.spec_from_request` builds (the
+        ``__post_init__`` checks it skips are guaranteed-true for specs
+        derived from an already-validated :class:`ChildRequest`).  The
+        ``thread_items`` array and the attached dispatch cache are shared
+        across identical requests — the engine only ever reads them.
+        """
+        key = (
+            req.items,
+            req.items_per_thread,
+            req.mem_stride,
+            req.cta_threads,
+            tuple(sorted(req.nested)) if req.nested else (),
+        )
+        template = self._child_templates.get(key)
+        if template is None:
+            num_threads = req.num_threads
+            items = np.full(num_threads, req.items_per_thread, dtype=np.int64)
+            items[-1] = req.items - (num_threads - 1) * req.items_per_thread
+            offsets = (
+                np.arange(num_threads, dtype=np.int64)
+                * req.items_per_thread
+                * req.mem_stride
+            )
+            tpc = min(req.cta_threads, num_threads)
+            num_ctas = -(-num_threads // tpc)
+            starts = np.arange(num_ctas, dtype=np.int64) * tpc
+            stops = np.minimum(starts + tpc, num_threads)
+            sizes = stops - starts
+            warps = ((sizes + (WARP_SIZE - 1)) // WARP_SIZE).tolist()
+            prefix = np.zeros(num_threads + 1, dtype=np.int64)
+            np.cumsum(items, out=prefix[1:])
+            executed = (prefix[stops] - prefix[starts]).tolist()
+            per_warp = np.where(
+                sizes > 1, items[starts], items[stops - 1]
+            ).tolist()
+            # mem_bases = mem_base + offsets, so the per-CTA footprint
+            # base is mem_base + offsets[start] and the extent is
+            # mem_base-independent.
+            rel_bases = offsets[starts].tolist()
+            extents = (
+                offsets[stops - 1] - offsets[starts]
+                + items[stops - 1] * req.mem_stride
+            ).tolist()
+            dec_tids = sorted(req.nested) if req.nested else None
+            template = (
+                num_threads,
+                items,
+                offsets,
+                starts.tolist(),
+                stops.tolist(),
+                sizes.tolist(),
+                warps,
+                executed,
+                per_warp,
+                rel_bases,
+                extents,
+                dec_tids,
+            )
+            self._child_templates[key] = template
+        (num_threads, items, offsets, starts, stops, sizes, warps, executed,
+         per_warp, rel_bases, extents, dec_tids) = template
+        mem_base = req.mem_base
+        if mem_base:
+            bases = [mem_base + rel for rel in rel_bases]
+        else:
+            bases = rel_bases
+        spec = KernelSpec.__new__(KernelSpec)
+        spec.name = req.name
+        spec.threads_per_cta = min(req.cta_threads, num_threads)
+        spec.thread_items = items
+        spec.regs_per_thread = req.regs_per_thread
+        spec.shmem_per_cta = req.shmem_per_cta
+        spec.cycles_per_item = req.cycles_per_item
+        spec.accesses_per_item = req.accesses_per_item
+        spec.mem_bases = mem_base + offsets
+        spec.mem_stride = req.mem_stride
+        spec.child_requests = {
+            tid: list(reqs) for tid, reqs in req.nested.items()
+        }
+        spec.header_items = 2
+        spec.depth = depth
+        spec.contiguous_footprint = True
+        spec._fast_dispatch = (
+            starts, stops, sizes, warps, executed, per_warp, bases, extents,
+            dec_tids,
+        )
+        return spec
+
+    def _make_child_kernel(
+        self, parent: KernelInstance, parent_cta: CTAInstance, req: ChildRequest
+    ) -> KernelInstance:
+        child_spec = self._fast_child_spec(req, parent.spec.depth + 1)
+        stream = self.stream_policy.stream_for(
+            parent.kernel_id, parent_cta.cta_index
+        )
+        child = KernelInstance(
+            next(self._kernel_ids),
+            child_spec,
+            stream_id=stream,
+            is_child=True,
+            parent_cta=parent_cta,
+            items_per_thread=req.items_per_thread,
+        )
+        self._unfinished_kernels += 1
+        return child
+
+    # ------------------------------------------------------------------
+    # SMX event wiring
+    # ------------------------------------------------------------------
+    def _reschedule_smx(self, smx: SMX) -> None:
+        events = self._smx_events
+        i = smx.index
+        event = events[i]
+        if event is not None:
+            event.cancel()
+            events[i] = None
+        queue = self.queue
+        now = queue.now
+        when = smx.next_event_time(now)
+        if when is not None:
+            events[i] = queue.schedule(
+                when if when > now else now, self._smx_callbacks[i]
+            )
+
+    def _on_smx_event(self, smx: SMX) -> None:
+        self._smx_events[smx.index] = None
+        now = self.queue.now
+        smx.advance(now)
+        progressed = False
+        for cta in smx.ctas_with_fired_decisions():
+            self._process_decisions(cta, smx, now)
+            progressed = True
+        finished = smx.pop_finished(now)
+        if finished:
+            progressed = True
+            for cta in finished:
+                self._detach_cta(cta, smx, now)
+            self._record_state()
+            for cta in finished:
+                self._on_cta_compute_done(cta, now)
+            self._dispatch()
+        if progressed:
+            self._reschedule_smx(smx)
+        else:
+            # Pure float drift: nudge strictly forward so we cannot spin.
+            when = smx.next_event_time(now)
+            if when is not None:
+                self._smx_events[smx.index] = self.queue.schedule(
+                    max(when, now + 1e-3), self._smx_callbacks[smx.index]
+                )
+
+
+#: Engine name -> simulator class; the seam ``Runner`` / the CLI select
+#: through.  "default" is the reference per-event engine.
+ENGINES: Dict[str, type] = {
+    "default": GPUSimulator,
+    "fast": FastSimulator,
+}
+
+
+def simulator_class(engine: str) -> type:
+    """Resolve an engine name to its simulator class."""
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {engine!r} (choose from {sorted(ENGINES)})"
+        ) from None

@@ -110,3 +110,39 @@ class TestRun:
 
     def test_pop_on_empty_returns_none(self):
         assert EventQueue().pop() is None
+
+
+class TestDrainedFastPath:
+    """The live-count check answers drained queues with zero heap ops."""
+
+    def test_pop_leaves_cancelled_stragglers_untouched(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(5)]
+        for event in events:
+            event.cancel()
+        # Below _COMPACT_MIN nothing compacts: 5 dead entries remain.
+        assert len(queue._heap) == 5
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        # The fast path answered from the counters; the heap was not
+        # popped, scanned, or rebuilt.
+        assert len(queue._heap) == 5
+        assert queue._cancelled == 5
+        assert len(queue) == 0
+
+    def test_pop_still_skips_dead_entries_when_live_ones_remain(self):
+        queue = EventQueue()
+        dead = queue.schedule(1.0, lambda: None)
+        live = queue.schedule(2.0, lambda: None)
+        dead.cancel()
+        assert queue.pop() is live
+        assert queue._cancelled == 0
+
+    def test_compaction_threshold_rebuilds_heap(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(64)]
+        for event in events[:33]:  # 33 * 2 > 64 crosses the threshold
+            event.cancel()
+        assert queue._cancelled == 0  # compaction fired and reset it
+        assert len(queue._heap) == 31
+        assert len(queue) == 31

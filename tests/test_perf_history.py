@@ -104,8 +104,26 @@ class TestAdapters:
         assert [r.label for r in records] == [
             "MM-small/spawn", "MM-small/flat",
         ]
-        assert records[0].details == {"makespan": 261166.97, "speedup": 1.25}
-        assert records[1].details == {"makespan": 300000.0}
+        assert records[0].details == {
+            "makespan": 261166.97, "speedup": 1.25, "engine": "default",
+        }
+        assert records[1].details == {
+            "makespan": 300000.0, "engine": "default",
+        }
+
+    def test_records_from_fast_bench_get_their_own_series(self):
+        report = {
+            "engine": "fast",
+            "pairs": [
+                {"pair": "MM-small/spawn", "seconds": 0.15,
+                 "makespan": 261166.97},
+            ],
+        }
+        records = records_from_bench(report, "2026-08-07T00:00:00")
+        # The engine rides in the label: fast timings must never land in
+        # the default engine's trailing window.
+        assert [r.label for r in records] == ["MM-small/spawn@fast"]
+        assert records[0].details["engine"] == "fast"
 
     def test_soak_record_computes_throughput_and_shed_rate(self):
         record = soak_record(

@@ -1,0 +1,295 @@
+"""Certification tests for the batch-stepping fast engine (repro.sim.fast).
+
+Three layers:
+
+* **Queue equivalence** — :class:`FastEventQueue` (bucketed calendar
+  queue, whole same-time batches drained at once) against the reference
+  binary-heap :class:`EventQueue`: identical delivery order on ties,
+  under cancellation, under schedule-during-run, and identical budget
+  semantics.  This is where PR 2's reverted deferred-reschedule bug
+  class would resurface, so ties and cancellations get explicit tests
+  on top of the hypothesis script sweep.
+* **Engine bit-identity** — :class:`FastSimulator` against
+  :class:`GPUSimulator` on fixed and hypothesis-generated applications:
+  canonical event streams diff clean and ``SimStats`` round-trip dicts
+  are equal.  Large generated apps ride in the ``slow`` marker with the
+  rest of the differential suite.
+* **Selection plumbing** — ``ENGINES`` / ``simulator_class`` /
+  ``Runner(default_engine=...)`` resolve and reject engines
+  consistently, and resolved engines land in engine-keyed cache slots.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import run_differential
+from repro.check.golden import canonical_events, diff_traces
+from repro.errors import ConfigError, HarnessError, SimulationError
+from repro.harness.runner import RunConfig, Runner
+from repro.obs.tracer import Tracer
+from repro.sim.config import small_debug_gpu
+from repro.sim.engine import GPUSimulator
+from repro.sim.events import EventQueue
+from repro.sim.fast import ENGINES, FastEventQueue, FastSimulator, simulator_class
+from repro.workloads import get_benchmark
+
+from tests.strategies import POLICIES, micro_apps, policies, rich_apps
+
+QUEUES = {"heap": EventQueue, "fast": FastEventQueue}
+
+
+# ---------------------------------------------------------------------------
+# Queue equivalence
+# ---------------------------------------------------------------------------
+@st.composite
+def queue_scripts(draw):
+    """A schedule/cancel script with deliberately heavy time collisions."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    # Few distinct timestamps -> most events tie, exercising batch drains.
+    times = draw(
+        st.lists(
+            st.sampled_from([0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 7.0, 100.0]),
+            min_size=n, max_size=n,
+        )
+    )
+    cancels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=0, max_size=n // 2, unique=True,
+        )
+    )
+    return times, cancels
+
+
+@given(script=queue_scripts())
+@settings(max_examples=80, deadline=None)
+def test_fast_queue_matches_heap_queue(script):
+    times, cancels = script
+    order = {name: [] for name in QUEUES}
+    queues = {name: cls() for name, cls in QUEUES.items()}
+    for name, queue in queues.items():
+        handles = [
+            queue.schedule(t, lambda n=name, i=i: order[n].append(i))
+            for i, t in enumerate(times)
+        ]
+        for index in cancels:
+            handles[index].cancel()
+        queue.run()
+    assert order["fast"] == order["heap"]
+    assert queues["fast"].now == queues["heap"].now
+
+
+def test_tie_drain_preserves_seq_order_for_midbatch_schedules():
+    """Same-time events scheduled *during* a batch run after it.
+
+    ``seq`` is globally monotonic, so a new event at the current
+    timestamp must sort after every already-scheduled tie — the fast
+    queue delivers it from a fresh bucket, the heap from a later sift;
+    both in the same place.
+    """
+    for name, cls in QUEUES.items():
+        queue = cls()
+        order = []
+
+        def first(queue=queue, order=order):
+            order.append("first")
+            queue.schedule(5.0, lambda: order.append("tail"))
+
+        queue.schedule(5.0, first)
+        queue.schedule(5.0, lambda: order.append("second"))
+        queue.run()
+        assert order == ["first", "second", "tail"], name
+
+
+def test_earlier_event_cancelling_later_tie_is_honoured():
+    for name, cls in QUEUES.items():
+        queue = cls()
+        order = []
+        later = []
+
+        def first(order=order, later=later):
+            order.append("first")
+            later[0].cancel()
+
+        queue.schedule(5.0, first)
+        later.append(queue.schedule(5.0, lambda: order.append("dead")))
+        queue.schedule(5.0, lambda: order.append("third"))
+        queue.run()
+        assert order == ["first", "third"], name
+
+
+def test_budget_exhaustion_matches_reference_semantics():
+    for name, cls in QUEUES.items():
+        queue = cls()
+
+        def rearm(queue=queue):
+            queue.schedule_in(1, rearm)
+
+        queue.schedule(0, rearm)
+        with pytest.raises(SimulationError, match="event budget exhausted"):
+            queue.run(max_events=100)
+
+    # The budget is checked before the pop: an exactly-consumed budget
+    # raises even when the queue is empty, on both implementations.
+    for name, cls in QUEUES.items():
+        queue = cls()
+        queue.schedule(0, lambda: None)
+        with pytest.raises(SimulationError, match="after 1 events"):
+            queue.run(max_events=1)
+
+
+def test_fast_queue_len_and_peek_track_cancellation():
+    queue = FastEventQueue()
+    events = [queue.schedule(float(i % 3), lambda: None) for i in range(9)]
+    assert len(queue) == 9
+    assert queue.peek_time() == 0.0
+    for event in events[::3]:  # i = 0, 3, 6: all of bucket t=0
+        event.cancel()
+    assert len(queue) == 6
+    assert queue.peek_time() == 1.0
+    assert queue.pop().time == 1.0
+
+
+def test_fast_queue_compaction_drops_dead_entries_and_keeps_order():
+    queue = FastEventQueue()
+    order = []
+    events = [
+        queue.schedule(float(i % 8), lambda i=i: order.append(i))
+        for i in range(64)
+    ]
+    for event in events[1::2]:
+        event.cancel()
+    events[0].cancel()  # the 33rd cancel: 33 * 2 > 64 crosses the threshold
+    assert queue._cancelled == 0  # compaction fired and reset the counter
+    assert queue._size == 31
+    assert len(queue) == 31
+    queue.run()
+    # Surviving events still run in (time, seq) order.
+    assert order == sorted(
+        (i for i in range(2, 64, 2)),
+        key=lambda i: (i % 8, i),
+    )
+
+
+def test_fast_queue_schedule_in_past_rejected():
+    queue = FastEventQueue()
+    queue.schedule(10.0, lambda: None)
+    assert queue.pop() is not None
+    with pytest.raises(SimulationError):
+        queue.schedule(5.0, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Engine bit-identity
+# ---------------------------------------------------------------------------
+def _run_traced(sim_cls, app, config, policy_factory):
+    tracer = Tracer()
+    sim = sim_cls(config=config, policy=policy_factory(), tracer=tracer)
+    result = sim.run(app)
+    return canonical_events(tracer.events()), result.stats.to_dict()
+
+
+def test_fixed_app_fast_engine_is_bit_identical():
+    from repro.core.policies import SpawnPolicy
+
+    app = get_benchmark("MM-small").dp(1)
+    ref_events, ref_stats = _run_traced(GPUSimulator, app, None, SpawnPolicy)
+    fast_events, fast_stats = _run_traced(FastSimulator, app, None, SpawnPolicy)
+    assert diff_traces(ref_events, fast_events) is None
+    assert fast_stats == ref_stats
+
+
+def test_fixed_app_fast_differential_is_clean():
+    from repro.core.policies import SpawnPolicy
+
+    app = get_benchmark("MM-small").dp(1)
+    mismatch = run_differential(app, policy_factory=SpawnPolicy, engine="fast")
+    assert mismatch is None, str(mismatch)
+
+
+@given(app=micro_apps(), policy_idx=st.integers(min_value=0, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_fast_engine_bit_identical_on_micro_apps(app, policy_idx):
+    config = small_debug_gpu()
+    ref_events, ref_stats = _run_traced(
+        GPUSimulator, app, config, POLICIES[policy_idx]
+    )
+    fast_events, fast_stats = _run_traced(
+        FastSimulator, app, config, POLICIES[policy_idx]
+    )
+    divergence = diff_traces(ref_events, fast_events)
+    assert divergence is None, str(divergence)
+    assert fast_stats == ref_stats
+
+
+@pytest.mark.slow
+@given(app=micro_apps(), policy_idx=st.integers(min_value=0, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_fast_differential_micro_apps(app, policy_idx):
+    mismatch = run_differential(
+        app,
+        config=small_debug_gpu(),
+        policy_factory=POLICIES[policy_idx],
+        engine="fast",
+    )
+    assert mismatch is None, str(mismatch)
+
+
+@pytest.mark.slow
+@given(app=rich_apps(), policy_factory=policies())
+@settings(max_examples=15, deadline=None)
+def test_fast_differential_rich_apps(app, policy_factory):
+    mismatch = run_differential(
+        app,
+        config=small_debug_gpu(),
+        policy_factory=policy_factory,
+        engine="fast",
+    )
+    assert mismatch is None, str(mismatch)
+
+
+# ---------------------------------------------------------------------------
+# Selection plumbing
+# ---------------------------------------------------------------------------
+def test_engines_registry_and_simulator_class():
+    assert ENGINES["default"] is GPUSimulator
+    assert ENGINES["fast"] is FastSimulator
+    assert simulator_class("fast") is FastSimulator
+    with pytest.raises(ConfigError, match="unknown engine"):
+        simulator_class("warp")
+
+
+def test_runner_rejects_unknown_engines():
+    with pytest.raises(HarnessError, match="unknown engine"):
+        Runner().run(RunConfig(benchmark="MM-small", scheme="spawn",
+                               engine="warp"))
+    with pytest.raises(HarnessError, match="unknown engine"):
+        Runner(default_engine="warp")
+
+
+def test_runner_default_engine_resolves_before_the_cache_key():
+    runner = Runner(default_engine="fast")
+    result = runner.run(RunConfig(benchmark="MM-small", scheme="spawn"))
+    assert all(key[-1] == "fast" for key in runner._cache)
+    # An explicitly fast config resolves to the very same cache entry.
+    again = runner.run(
+        RunConfig(benchmark="MM-small", scheme="spawn", engine="fast")
+    )
+    assert again is result
+    # cached() probes resolve the same way, without simulating.
+    assert (
+        runner.cached(RunConfig(benchmark="MM-small", scheme="spawn"))
+        is result
+    )
+
+
+def test_fast_engine_result_matches_default_through_the_runner():
+    config = RunConfig(benchmark="MM-small", scheme="spawn")
+    default_summary = Runner().run(config).summary()
+    fast_summary = (
+        Runner()
+        .run(RunConfig(benchmark="MM-small", scheme="spawn", engine="fast"))
+        .summary()
+    )
+    assert fast_summary == default_summary
