@@ -54,24 +54,34 @@ from repro.harness.runner import (
     geometric_mean,
 )
 from repro.harness.schemes import DP_SCHEMES, SchemeSpec
-from repro.harness.store import ResultStore, default_cache_dir
+from repro.harness.store import (
+    ResultStore,
+    StoreBackend,
+    default_cache_dir,
+    open_store,
+)
 from repro.harness.history import PerfRecord, load_history
 from repro.harness.sweep import SweepResult, offline_search, threshold_sweep
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.service import (
+    FleetConfig,
+    FleetOverloaded,
+    FleetStats,
     ReplayBudgetExceeded,
     ReplayBudgets,
     ReplayReport,
     RequestLedger,
     ServiceClosed,
     ServiceConfig,
+    ServiceFleet,
     ServiceJob,
     ServiceOverloaded,
     ServiceStats,
     SimulationService,
     TrafficRequest,
     drive_service,
+    fleet_runners,
     generate_traffic,
     replay_ledger,
 )
@@ -207,13 +217,15 @@ def serve(
     inline_threshold_ms: float = 0.0,
     max_batch: int = 8,
     max_queue: Optional[int] = None,
+    shards: int = 1,
+    store_url: Optional[str] = None,
     runner: Optional[Runner] = None,
     store: Optional[ResultStore] = None,
     cache_dir=None,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
     tracer: Optional[Tracer] = None,
-) -> SimulationService:
+) -> Union[SimulationService, ServiceFleet]:
     """Build a :class:`SimulationService` (not yet started).
 
     The async serving entry point::
@@ -226,18 +238,41 @@ def serve(
     rejected with :class:`ServiceOverloaded` (the predicted-delay
     evidence is attached as ``.decision``); requests predicted cheaper
     than ``inline_threshold_ms`` run directly on the event-loop thread.
+
+    ``shards > 1`` returns a :class:`ServiceFleet` instead — the same
+    awaitable surface, but requests consistent-hash onto ``shards``
+    independent services.  ``store_url`` (``dir://``, ``sqlite://``,
+    ``kv://``) then names the *shared* backend every shard opens its own
+    handle to; with one shard it is shorthand for
+    ``store=open_store(store_url)``.
     """
+    config = ServiceConfig(
+        jobs=jobs,
+        deadline_ms=deadline_ms,
+        inline_threshold_ms=inline_threshold_ms,
+        max_batch=max_batch,
+        max_queue=max_queue,
+    )
+    if shards > 1:
+        if runner is not None or store is not None or cache_dir is not None:
+            raise HarnessError(
+                "serve(shards=N) builds one runner per shard from "
+                "store_url; pass store_url, not runner/store/cache_dir"
+            )
+        return ServiceFleet(
+            fleet_runners(shards, store_url=store_url),
+            config=FleetConfig(shards=shards, service=config),
+            policy=policy,
+            faults=faults,
+            tracer=tracer,
+        )
+    if store is None and store_url is not None:
+        store = open_store(store_url)
     if runner is None:
         runner = _make_runner(None, None, store, cache_dir)
     return SimulationService(
         runner,
-        config=ServiceConfig(
-            jobs=jobs,
-            deadline_ms=deadline_ms,
-            inline_threshold_ms=inline_threshold_ms,
-            max_batch=max_batch,
-            max_queue=max_queue,
-        ),
+        config=config,
         policy=policy,
         faults=faults,
         tracer=tracer,
@@ -280,6 +315,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceJob",
     "ServiceStats",
+    "ServiceFleet",
+    "FleetConfig",
+    "FleetStats",
+    "fleet_runners",
     "TrafficRequest",
     "generate_traffic",
     # telemetry & load testing
@@ -305,6 +344,8 @@ __all__ = [
     "FaultPlan",
     "FlakyStore",
     "ResultStore",
+    "StoreBackend",
+    "open_store",
     "SweepResult",
     "ReplicationResult",
     "Tracer",
@@ -321,6 +362,7 @@ __all__ = [
     "WorkerCrash",
     "TaskTimeout",
     "ServiceOverloaded",
+    "FleetOverloaded",
     "ServiceClosed",
     "ReplayBudgetExceeded",
 ]

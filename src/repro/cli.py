@@ -110,6 +110,71 @@ def _add_engine_argument(parser: argparse.ArgumentParser, *, what: str) -> None:
     )
 
 
+def _add_store_argument(
+    parser: argparse.ArgumentParser, *, no_store: bool = False
+) -> None:
+    """The shared ``--store URL`` flag (plus its deprecated alias).
+
+    Every store-touching command accepts the same URL syntax:
+    ``dir://PATH``, ``sqlite://PATH.db``, ``kv://HOST:PORT``, or a bare
+    path (meaning ``dir://``).  ``--cache-dir DIR`` is kept as a
+    warning-deprecated alias for ``--store dir://DIR``.
+    """
+    parser.add_argument(
+        "--store", default=None, metavar="URL",
+        help="result store: dir://PATH, sqlite://PATH.db, kv://HOST:PORT, "
+             "or a bare directory path "
+             "(default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="deprecated alias for --store dir://DIR",
+    )
+    if no_store:
+        parser.add_argument(
+            "--no-store", action="store_true",
+            help="skip the persistent result store entirely",
+        )
+
+
+def _resolve_store_url(args, *, default: bool):
+    """``(use_store, url)`` from ``--store``/``--cache-dir``/``--no-store``.
+
+    ``default=True`` opens the default directory cache when no flag was
+    given (suite/serve/replay/cache); ``default=False`` stays storeless
+    unless the user named one (run/bench/perf — historically cacheless).
+    ``url`` may be None with ``use_store=True``, meaning "the default
+    location" (:func:`repro.harness.store.open_store` resolves it).
+    """
+    from repro.errors import HarnessError
+
+    if getattr(args, "no_store", False):
+        return False, None
+    url = getattr(args, "store", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        if url is not None:
+            raise HarnessError("pass --store or --cache-dir, not both")
+        # Printed, not warnings.warn(): CLI deprecations talk to the
+        # terminal; the API-level DeprecationWarning lives in ResultStore.
+        print(
+            f"warning: --cache-dir is deprecated; use --store dir://{cache_dir}",
+            file=sys.stderr,
+        )
+        url = str(cache_dir)
+    if url is None and not default:
+        return False, None
+    return True, url
+
+
+def _open_cli_store(args, *, default: bool):
+    """A :class:`ResultStore` (or None) from the shared store flags."""
+    from repro.harness.store import open_store
+
+    use, url = _resolve_store_url(args, default=default)
+    return open_store(url) if use else None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -140,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="export a chrome://tracing / Perfetto trace")
     run.add_argument("--profile", action="store_true",
                      help="print harness wall-clock timings after the run")
+    _add_store_argument(run)
     _add_engine_argument(run, what="this run")
 
     audit = sub.add_parser(
@@ -168,11 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--seed", type=int, default=1)
     suite.add_argument("--experiments", default=None, metavar="ID[,ID...]",
                        help="comma-separated subset (default: the full suite)")
-    suite.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="persistent result store "
-                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
-    suite.add_argument("--no-store", action="store_true",
-                       help="skip the on-disk cache entirely")
+    _add_store_argument(suite, no_store=True)
     suite.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                        help="per-task timeout; a hung worker is retried "
                             "instead of hanging the suite (default: none)")
@@ -209,12 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
                                      "is always recorded with the default "
                                      "engine)")
 
-    cache = sub.add_parser("cache", help="inspect or clear the on-disk result store")
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent result store"
+    )
     cache.add_argument("action", nargs="?", default="stats",
                        choices=["stats", "clear"])
-    cache.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="store location (default: $REPRO_CACHE_DIR or "
-                            ".repro-cache)")
+    _add_store_argument(cache)
 
     bench = sub.add_parser(
         "bench", help="time the engine's slowest pairs; write BENCH_<date>.json"
@@ -235,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "on the same host, and write the speedup matrix "
                             "plus a bit-identical-makespan cross-check into "
                             "the report")
+    _add_store_argument(bench)
     _add_engine_argument(bench, what="the timed runs (ignored by "
                                      "--compare-engines, which always times "
                                      "both)")
@@ -267,11 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "requests (default: 20)")
     serve.add_argument("--traffic-seed", type=int, default=1,
                        help="seed for --synthetic traffic (default: 1)")
-    serve.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="persistent result store "
-                            "(default: $REPRO_CACHE_DIR or .repro-cache)")
-    serve.add_argument("--no-store", action="store_true",
-                       help="skip the on-disk cache entirely")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="shard the service N ways behind a consistent-"
+                            "hash front door: each shard runs its own "
+                            "admission controller and worker pool, and "
+                            "identical requests always route to the same "
+                            "shard (default: 1 = unsharded)")
+    _add_store_argument(serve, no_store=True)
     serve.add_argument("--stats", action="store_true",
                        help="print the admission ledger, latency percentiles, "
                             "and cost-model snapshot after draining")
@@ -303,11 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="jobs per pool dispatch (default: 8)")
     replay.add_argument("--max-queue", type=int, default=None, metavar="N",
                         help="hard queue-depth cap (default: unbounded)")
-    replay.add_argument("--cache-dir", default=None, metavar="DIR",
-                        help="persistent result store "
-                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
-    replay.add_argument("--no-store", action="store_true",
-                        help="skip the on-disk cache entirely")
+    replay.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="replay against an N-shard fleet instead of a "
+                             "single service (default: 1)")
+    _add_store_argument(replay, no_store=True)
     replay.add_argument("--max-p99-ms", type=float, default=None, metavar="MS",
                         help="budget: fail when the exact p99 of answered-"
                              "request latency exceeds this")
@@ -354,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: 1.5)")
     perf.add_argument("--json", default=None, metavar="FILE",
                       help="write the fresh records + verdicts as JSON")
+    _add_store_argument(perf)
     _add_engine_argument(perf, what="the timed pairs (non-default engines "
                                     "record their own @engine-suffixed "
                                     "history series)")
@@ -387,7 +452,12 @@ def cmd_run(args, out) -> int:
 
     # default_engine so the flat run behind speedup_vs_flat uses the same
     # core as the main run (and both land in engine-keyed cache entries).
-    runner = Runner(default_engine=args.engine)
+    # The store stays off unless requested: `repro run` is historically
+    # cacheless, and quick one-offs should not populate a store unasked.
+    runner = Runner(
+        store=_open_cli_store(args, default=False),
+        default_engine=args.engine,
+    )
     config = RunConfig(
         benchmark=args.benchmark,
         scheme=args.scheme,
@@ -546,7 +616,6 @@ def cmd_suite(args, out) -> int:
     from repro.experiments.plans import suite_plan
     from repro.harness.faults import FaultPlan
     from repro.harness.parallel import ExecutionPolicy, ParallelRunner, default_jobs
-    from repro.harness.store import ResultStore
     from repro.obs.profile import REGISTRY
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -561,7 +630,7 @@ def cmd_suite(args, out) -> int:
         print("error: --resume needs the persistent store (drop --no-store)",
               file=sys.stderr)
         return 2
-    store = None if args.no_store else ResultStore(args.cache_dir)
+    store = _open_cli_store(args, default=True)
     # default_engine covers the experiment phase: experiment modules build
     # their own RunConfigs, and the runner resolves them onto the same
     # engine-keyed cache entries the fan-out produced.
@@ -734,18 +803,18 @@ def cmd_check(args, out) -> int:
 
 
 def cmd_cache(args, out) -> int:
-    from repro.harness.store import ResultStore
-
-    store = ResultStore(args.cache_dir)
+    store = _open_cli_store(args, default=True)
     if args.action == "clear":
         removed = store.clear()
-        print(f"removed {removed} entries from {store.root}", file=out)
+        print(f"removed {removed} entries from {store.url}", file=out)
         return 0
     stats = store.stats()
     print(
         format_table(
             ["field", "value"],
             [
+                ("store", store.url),
+                ("backend", store.backend.name),
                 ("root", stats.root),
                 ("entries", stats.entries),
                 ("total_bytes", stats.total_bytes),
@@ -777,8 +846,14 @@ def cmd_bench(args, out) -> int:
         )
         return 2
 
+    # Timed runs stay cold (a cache hit would measure nothing); --store
+    # write-throughs each result after its clock stops.
+    store = _open_cli_store(args, default=False)
+    store_kwargs = {"store": store} if store is not None else {}
     if args.compare_engines:
-        report = compare_engines(repeat=args.repeat, seed=args.seed)
+        report = compare_engines(
+            repeat=args.repeat, seed=args.seed, **store_kwargs
+        )
         path = write_report(report, args.output)
         rows = [
             (
@@ -849,7 +924,9 @@ def cmd_bench(args, out) -> int:
     min_speedup = (
         args.min_speedup if args.min_speedup is not None else DEFAULT_MIN_SPEEDUP
     )
-    report = run_bench(repeat=args.repeat, seed=args.seed, engine=args.engine)
+    report = run_bench(
+        repeat=args.repeat, seed=args.seed, engine=args.engine, **store_kwargs
+    )
     # The report is written before any gate: a failing run must still
     # leave its evidence on disk for CI to archive.
     path = write_report(report, args.output)
@@ -930,17 +1007,24 @@ def cmd_serve(args, out) -> int:
     import asyncio
 
     from repro.harness.faults import FaultPlan
-    from repro.harness.store import ResultStore
+    from repro.harness.store import default_cache_dir, open_store
     from repro.service import (
+        FleetConfig,
         RequestLedger,
         ServiceConfig,
+        ServiceFleet,
         SimulationService,
         drive_service,
+        fleet_runners,
         generate_traffic,
         load_requests,
     )
     from repro.service.ledger import SHED as LEDGER_SHED
 
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
     if args.requests is not None:
         requests = load_requests(args.requests)
         source = args.requests
@@ -964,16 +1048,39 @@ def cmd_serve(args, out) -> int:
         max_queue=args.max_queue,
         engine=args.engine,
     )
-    store = None if args.no_store else ResultStore(args.cache_dir)
-    runner = Runner(store=store)
+    use_store, url = _resolve_store_url(args, default=True)
     faults = FaultPlan.from_env()
     if faults is not None:
         print(f"chaos: injecting faults {faults.to_dict()}", file=sys.stderr)
-        if store is not None:
+
+    if args.shards > 1:
+        # Sharded fleet: every shard opens its own handle to the SAME
+        # store URL (that shared backend is what fleet-wide dedup rides
+        # on), so the default cache dir must be spelled out as a URL.
+        store_url = None
+        if use_store:
+            store_url = url if url is not None else f"dir://{default_cache_dir()}"
+        wrap = (
+            faults.flaky_store
+            if (faults is not None and store_url is not None)
+            else None
+        )
+        runners = fleet_runners(
+            args.shards, store_url=store_url, wrap_store=wrap
+        )
+        service = ServiceFleet(
+            runners,
+            config=FleetConfig(shards=args.shards, service=config),
+            faults=faults,
+        )
+    else:
+        store = open_store(url) if use_store else None
+        runner = Runner(store=store)
+        if faults is not None and store is not None:
             runner.store = faults.flaky_store(store)
+        service = SimulationService(runner, config=config, faults=faults)
 
     async def drive():
-        service = SimulationService(runner, config=config, faults=faults)
         async with service:
             entries = await drive_service(service, requests)
         return entries, service.stats()
@@ -1005,6 +1112,8 @@ def cmd_serve(args, out) -> int:
         payload = stats.to_dict()
         model = payload.pop("model")
         latency = payload.pop("latency")
+        fleet_info = payload.pop("fleet", None)
+        per_shard = payload.pop("per_shard", None)
         print(
             format_table(
                 ["counter", "value"],
@@ -1013,6 +1122,32 @@ def cmd_serve(args, out) -> int:
             ),
             file=out,
         )
+        if fleet_info is not None and per_shard is not None:
+            routed = fleet_info.get("routed", {})
+            print(file=out)
+            print(
+                format_table(
+                    ["shard", "routed", "completed", "shed", "cache_hits",
+                     "coalesced"],
+                    [
+                        (
+                            index,
+                            routed.get(str(index), 0),
+                            shard["completed"],
+                            shard["shed"],
+                            shard["cache_hits"],
+                            shard["coalesced"],
+                        )
+                        for index, shard in enumerate(per_shard)
+                    ],
+                    title=(
+                        f"fleet routing ({fleet_info['shards']} shards, "
+                        f"failovers={fleet_info['failovers']}, "
+                        f"fleet_shed={fleet_info['fleet_shed']})"
+                    ),
+                ),
+                file=out,
+            )
         latency_rows = _latency_rows(latency)
         if latency_rows:
             print(file=out)
@@ -1060,14 +1195,19 @@ def cmd_replay(args, out) -> int:
 
     from repro.errors import ReplayBudgetExceeded
     from repro.harness.faults import FaultPlan
-    from repro.harness.store import ResultStore
+    from repro.harness.store import default_cache_dir, open_store
     from repro.service import (
         ReplayBudgets,
         RequestLedger,
         ServiceConfig,
+        fleet_runners,
         replay_ledger,
     )
 
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
     ledger = RequestLedger.read(args.ledger)
     if not len(ledger):
         print(f"error: {args.ledger} holds no requests", file=sys.stderr)
@@ -1083,13 +1223,10 @@ def cmd_replay(args, out) -> int:
         max_batch=args.max_batch,
         max_queue=args.max_queue,
     )
-    store = None if args.no_store else ResultStore(args.cache_dir)
-    runner = Runner(store=store)
+    use_store, url = _resolve_store_url(args, default=True)
     faults = FaultPlan.from_env()
     if faults is not None:
         print(f"chaos: injecting faults {faults.to_dict()}", file=sys.stderr)
-        if store is not None:
-            runner.store = faults.flaky_store(store)
     budgets = ReplayBudgets(
         max_p99_s=(
             args.max_p99_ms / 1000.0 if args.max_p99_ms is not None else None
@@ -1097,13 +1234,33 @@ def cmd_replay(args, out) -> int:
         max_shed_rate=args.max_shed_rate,
     )
 
+    if args.shards > 1:
+        store_url = None
+        if use_store:
+            store_url = url if url is not None else f"dir://{default_cache_dir()}"
+        wrap = (
+            faults.flaky_store
+            if (faults is not None and store_url is not None)
+            else None
+        )
+        runners = fleet_runners(
+            args.shards, store_url=store_url, wrap_store=wrap
+        )
+        replay_kwargs = {"runners": runners, "shards": args.shards}
+    else:
+        store = open_store(url) if use_store else None
+        runner = Runner(store=store)
+        if faults is not None and store is not None:
+            runner.store = faults.flaky_store(store)
+        replay_kwargs = {"runner": runner}
+
     report = asyncio.run(
         replay_ledger(
             ledger,
             speed=args.speed,
-            runner=runner,
             config=config,
             faults=faults,
+            **replay_kwargs,
         )
     )
     percentiles = report.percentiles()
@@ -1202,7 +1359,11 @@ def cmd_perf(args, out) -> int:
     history = load_history(history_path)
 
     bench_report = run_bench(
-        pairs=pairs, repeat=args.repeat, seed=args.seed, engine=args.engine
+        pairs=pairs,
+        repeat=args.repeat,
+        seed=args.seed,
+        engine=args.engine,
+        store=_open_cli_store(args, default=False),
     )
     fresh = records_from_bench(bench_report, at)
 

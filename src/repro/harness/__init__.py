@@ -34,7 +34,13 @@ from repro.harness.replication import (
     replicate,
     replication_plan,
 )
-from repro.harness.store import ResultStore, StoreStats, default_cache_dir
+from repro.harness.store import (
+    ResultStore,
+    StoreBackend,
+    StoreStats,
+    default_cache_dir,
+    open_store,
+)
 from repro.harness.sweep import (
     SweepPoint,
     SweepResult,
@@ -61,6 +67,7 @@ __all__ = [
     "RunConfig",
     "Runner",
     "SchemeSpec",
+    "StoreBackend",
     "StoreStats",
     "SweepPoint",
     "SweepResult",
@@ -74,6 +81,7 @@ __all__ = [
     "geometric_mean",
     "make_policy",
     "offline_search",
+    "open_store",
     "parse_scheme",
     "replicate",
     "replication_plan",

@@ -1,0 +1,120 @@
+"""Directory-of-JSON-files backend (``dir://``) — the historical layout.
+
+Layout: ``<root>/<first two key hex chars>/<key>.json`` — two-level
+fanout keeps directory listings short even for thousands of entries.
+Writes go to a temp file in the same directory and are ``os.replace``-d
+into place, so concurrent workers (the parallel harness) and overlapping
+CI jobs never observe torn JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.backends.base import DIR_SCHEME, StoreStats
+
+
+class DirectoryBackend:
+    """Content-addressed JSON files under a root directory."""
+
+    name = DIR_SCHEME
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+
+    @property
+    def location(self) -> str:
+        return str(self.root)
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s entry lives (exists or not)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Torn or corrupt entry (e.g. a crashed writer on a
+            # filesystem without atomic replace): orphan it.
+            self.delete(key)
+            return None
+        if not isinstance(payload, dict):
+            self.delete(key)
+            return None
+        return payload
+
+    def save(self, key: str, payload: dict) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # allow_nan=False enforces the strict-JSON contract (see the
+        # backend protocol docs): serialize before touching the disk so
+        # a rejected payload leaves nothing behind.
+        text = json.dumps(payload, allow_nan=False)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._unlink(Path(tmp_name))
+            raise
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def delete(self, key: str) -> None:
+        self._unlink(self.path_for(key))
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _entries(self):
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path
+
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return StoreStats(
+            root=str(self.root), entries=entries, total_bytes=total
+        )
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self._entries():
+            self._unlink(path)
+            removed += 1
+        # Sweep now-empty fanout directories (best effort).
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if child.is_dir():
+                    try:
+                        child.rmdir()
+                    except OSError:
+                        pass
+        return removed
+
+    def close(self) -> None:
+        """Nothing to release — files are opened per operation."""

@@ -1,0 +1,249 @@
+"""In-process network KV shim (``kv://host:port``): server + client.
+
+The fleet-sharing transport: one :class:`KVStoreServer` fronts an
+*authoritative* backend (directory or SQLite) and any number of
+:class:`KVBackend` clients — one per shard, or per process — talk to it
+over a newline-delimited JSON protocol::
+
+    -> {"op": "save", "key": "ab12...", "payload": {...}}
+    <- {"ok": true, "value": null}
+    -> {"op": "load", "key": "ab12..."}
+    <- {"ok": true, "value": {...}}  (or null on a miss)
+
+One request per line, one response per line, UTF-8.  Connections may be
+reused for many requests; the shipped client opens one per operation,
+which keeps it trivially thread-safe (shard services issue store IO from
+executor threads).
+
+Failure translation keeps the backend contract uniform: server-side
+errors come back as ``{"ok": false, "error": ...}`` and are re-raised
+client-side as ``OSError``; so are socket/connection failures — the
+runner's store fault tolerance treats an unreachable KV server exactly
+like a failing disk.  NaN rejection (``ValueError``) happens client-side
+at serialization time, before any bytes hit the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.harness.backends.base import KV_SCHEME, StoreBackend, StoreStats
+
+#: Client-side socket timeout (seconds).  Generous: payloads are small,
+#: but a CI runner under load can stall accept loops.
+CLIENT_TIMEOUT_S = 30.0
+
+#: Cap on one protocol line (16 MiB) — a corrupted stream must not make
+#: either side buffer without bound.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Operations the server accepts.
+OPS = ("ping", "load", "save", "contains", "delete", "stats", "clear")
+
+
+def _send_line(wfile, payload: dict) -> None:
+    wfile.write(json.dumps(payload, allow_nan=False).encode("utf-8") + b"\n")
+    wfile.flush()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of request/response lines."""
+
+    def handle(self) -> None:
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES)
+            except OSError:
+                return
+            if not line:
+                return  # client closed
+            try:
+                response = self._respond(line)
+            except OSError:
+                return  # client went away mid-response
+            try:
+                _send_line(self.wfile, response)
+            except OSError:
+                return
+
+    def _respond(self, line: bytes) -> dict:
+        backend = self.server.backend  # type: ignore[attr-defined]
+        try:
+            request = json.loads(line)
+            op = request.get("op")
+            if op not in OPS:
+                raise ValueError(f"unknown op {op!r}")
+            if op == "ping":
+                value = "pong"
+            elif op == "load":
+                value = backend.load(request["key"])
+            elif op == "save":
+                backend.save(request["key"], request["payload"])
+                value = None
+            elif op == "contains":
+                value = backend.contains(request["key"])
+            elif op == "delete":
+                backend.delete(request["key"])
+                value = None
+            elif op == "stats":
+                snapshot = backend.stats()
+                value = {
+                    "root": snapshot.root,
+                    "entries": snapshot.entries,
+                    "total_bytes": snapshot.total_bytes,
+                }
+            else:  # clear
+                value = backend.clear()
+        except Exception as exc:  # noqa: BLE001 — wire back, don't die
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return {"ok": True, "value": value}
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, backend: StoreBackend):
+        super().__init__(address, _Handler)
+        self.backend = backend
+
+
+class KVStoreServer:
+    """Serve an authoritative backend to KV clients on a TCP port.
+
+    Use as a context manager (or call :meth:`start`/:meth:`close`)::
+
+        with KVStoreServer(DirectoryBackend(root)) as server:
+            store = open_store(server.url)
+
+    ``port=0`` (the default) lets the OS pick a free port — read it back
+    from :attr:`address` / :attr:`url` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        backend: StoreBackend,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.backend = backend
+        self._server = _Server((host, port), backend)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"{KV_SCHEME}://{host}:{port}"
+
+    def start(self) -> "KVStoreServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-kv-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "KVStoreServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class KVBackend:
+    """Client half of the KV shim: a backend that talks to a server."""
+
+    name = KV_SCHEME
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    @property
+    def location(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _call(self, op: str, **fields):
+        request = {"op": op, **fields}
+        # Serialize before connecting so a NaN payload raises ValueError
+        # (the strict-JSON contract) without a wasted round trip.
+        wire = json.dumps(request, allow_nan=False).encode("utf-8") + b"\n"
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=CLIENT_TIMEOUT_S
+            ) as sock:
+                with sock.makefile("rwb") as stream:
+                    stream.write(wire)
+                    stream.flush()
+                    line = stream.readline(MAX_LINE_BYTES)
+        except OSError as exc:
+            raise OSError(
+                f"kv store {self.location} unreachable: {exc}"
+            ) from exc
+        if not line:
+            raise OSError(f"kv store {self.location}: connection closed")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise OSError(
+                f"kv store {self.location}: invalid response: {exc}"
+            ) from exc
+        if not response.get("ok"):
+            raise OSError(
+                f"kv store {self.location}: {op} failed: "
+                f"{response.get('error', 'unknown error')}"
+            )
+        return response.get("value")
+
+    def ping(self) -> bool:
+        return self._call("ping") == "pong"
+
+    def load(self, key: str) -> Optional[dict]:
+        value = self._call("load", key=key)
+        if value is not None and not isinstance(value, dict):
+            raise OSError(
+                f"kv store {self.location}: malformed load payload"
+            )
+        return value
+
+    def save(self, key: str, payload: dict) -> None:
+        self._call("save", key=key, payload=payload)
+
+    def contains(self, key: str) -> bool:
+        return bool(self._call("contains", key=key))
+
+    def delete(self, key: str) -> None:
+        self._call("delete", key=key)
+
+    def stats(self) -> StoreStats:
+        value = self._call("stats")
+        return StoreStats(
+            root=value["root"],
+            entries=int(value["entries"]),
+            total_bytes=int(value["total_bytes"]),
+        )
+
+    def clear(self) -> int:
+        return int(self._call("clear"))
+
+    def close(self) -> None:
+        """Nothing held open — connections are per operation."""

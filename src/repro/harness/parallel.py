@@ -17,7 +17,13 @@ split on top of :class:`~repro.harness.runner.Runner`:
    shared memory cache *and* the persistent store as tasks complete,
    keeping writes single-producer per process tree (and checkpointing
    progress: a killed suite resumes from the store, re-simulating only
-   the missing configs).
+   the missing configs).  "Single-producer" is per *runner*, not per
+   host: every store write goes through one
+   :class:`~repro.harness.store.StoreBackend`, and the shared backends
+   (``sqlite://`` WAL, ``kv://``) are safe under several parent
+   processes — which is what lets each shard of a
+   :class:`~repro.service.fleet.ServiceFleet` keep its own pool while
+   deduplicating results fleet-wide.
 3. **Resolve.**  Results are returned in input order via the now-warm
    runner, so ``run_many`` output is bit-identical to running the same
    configs serially (simulations are deterministic and workers use the

@@ -6,8 +6,9 @@ runs per benchmark), so results are memoized on the full
 :meth:`RunConfig.key` tuple.  Lookups go **memory -> disk -> simulate**:
 the in-process dict answers repeats within one process, and an optional
 :class:`~repro.harness.store.ResultStore` persists results across
-processes and CI jobs (pass ``store=`` or ``cache_dir=``; the default is
-no disk cache, preserving the historical behavior).
+processes and CI jobs (pass ``store=open_store(url)``; the default is
+no disk cache, preserving the historical behavior, and the deprecated
+``cache_dir=`` spelling still wires up the directory backend).
 """
 
 from __future__ import annotations
@@ -124,8 +125,17 @@ class Runner:
         self.config = config or GPUConfig()
         self.max_events = max_events
         self._cache: Dict[Tuple, SimResult] = {}
-        if store is None and cache_dir is not None:
-            store = ResultStore(cache_dir)
+        if cache_dir is not None:
+            warnings.warn(
+                "Runner(cache_dir=...) is deprecated; pass "
+                "store=repro.harness.store.open_store(url) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if store is None:
+                from repro.harness.backends.directory import DirectoryBackend
+
+                store = ResultStore(backend=DirectoryBackend(cache_dir))
         #: Optional persistent layer; None keeps the runner memory-only.
         self.store = store
         self._simulator_class(default_engine)  # validate at the door

@@ -1,24 +1,33 @@
-"""Persistent, content-addressed result store under ``.repro-cache/``.
+"""Persistent, content-addressed result store over pluggable backends.
 
 The in-process :class:`~repro.harness.runner.Runner` cache dies with the
-interpreter, so every CLI invocation and CI job used to re-simulate runs it
-had already done.  This module gives results a durable home:
+interpreter, so every CLI invocation and CI job used to re-simulate runs
+it had already done.  This module gives results a durable home:
 
-* **Content-addressed keys.**  An entry's filename is the SHA-256 of a
-  canonical JSON document covering *everything that determines the result*:
-  the cache schema version, every :class:`RunConfig` field (including
-  ``trace_interval``), the full :class:`~repro.sim.config.GPUConfig`
-  (nested dataclasses and all), and the event budget.  Change any input and
-  the key changes; bump :data:`SCHEMA_VERSION` and every old entry becomes
-  unreachable (stale entries are never *read wrong*, only orphaned).
-* **Atomic writes.**  Entries are written to a temp file in the same
-  directory and ``os.replace``-d into place, so concurrent workers (the
-  parallel harness) and overlapping CI jobs never observe torn JSON.
+* **Content-addressed keys.**  An entry's key is the SHA-256 of a
+  canonical JSON document covering *everything that determines the
+  result*: the cache schema version, every :class:`RunConfig` field
+  (including ``trace_interval``), the full
+  :class:`~repro.sim.config.GPUConfig` (nested dataclasses and all), and
+  the event budget.  Change any input and the key changes; bump
+  :data:`SCHEMA_VERSION` and every old entry becomes unreachable (stale
+  entries are never *read wrong*, only orphaned).
+* **Pluggable transport.**  :class:`ResultStore` owns the semantics —
+  keying, schema validation, :class:`~repro.sim.engine.SimResult`
+  serialization, and metrics — and delegates durability to a
+  :class:`~repro.harness.backends.StoreBackend`: the historical
+  directory of JSON files (``dir://``), a WAL-mode SQLite file shards
+  can share (``sqlite://``), or a network KV shim (``kv://``).  Open one
+  from a URL with :func:`open_store`.
 * **Corruption tolerance.**  An unreadable or schema-mismatched entry is
-  treated as a miss and deleted; the run is simply redone.
+  treated as a miss and deleted; the run is simply redone.  Backends
+  surface infrastructure failure uniformly as ``OSError``, which the
+  runner tolerates (a broken cache never takes a simulation down).
 
-Layout: ``<root>/<first two key hex chars>/<key>.json`` — two-level fanout
-keeps directory listings short even for thousands of entries.
+Every backend reports under the same metric names —
+``store.reads_total`` (hit/miss) and ``store.io_seconds`` (load/save
+timings) — labeled with ``backend=dir|sqlite|kv``, because observation
+happens here, above the protocol, not inside any one implementation.
 """
 
 from __future__ import annotations
@@ -27,12 +36,18 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import time
-from dataclasses import dataclass
+import warnings
 from pathlib import Path
 from typing import Optional
 
+from repro.harness.backends.base import (
+    StoreBackend,
+    StoreStats,
+    describe,
+    open_backend,
+)
+from repro.harness.backends.directory import DirectoryBackend
 from repro.obs.metrics import DEFAULT_IO_BUCKETS, METRICS
 from repro.sim.config import GPUConfig
 from repro.sim.engine import SimResult
@@ -57,20 +72,65 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
 
 
-@dataclass(frozen=True)
-class StoreStats:
-    """Snapshot of the on-disk cache, for ``repro cache stats``."""
+def open_store(url=None) -> "ResultStore":
+    """Open a :class:`ResultStore` from a store URL (or bare path).
 
-    root: str
-    entries: int
-    total_bytes: int
+    The one-stop constructor the CLI and API route through::
+
+        open_store()                      default directory cache
+        open_store("dir://.repro-cache")  directory of JSON files
+        open_store("sqlite://cache.db")   shared WAL-mode SQLite file
+        open_store("kv://127.0.0.1:7077") network KV shim client
+        open_store("/some/path")          bare path == dir://
+
+    """
+    return ResultStore(backend=open_backend(url))
 
 
 class ResultStore:
-    """Content-addressed on-disk cache of :class:`SimResult` payloads."""
+    """Content-addressed cache of :class:`SimResult` payloads.
 
-    def __init__(self, root: Optional[os.PathLike] = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
+    Construct with ``backend=`` (or via :func:`open_store`); the
+    positional ``root`` path spelling still works but is deprecated —
+    it wires up the directory backend exactly as before.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        *,
+        backend: Optional[StoreBackend] = None,
+    ):
+        if backend is not None and root is not None:
+            raise TypeError("pass either root or backend, not both")
+        if backend is None:
+            if root is not None:
+                warnings.warn(
+                    "ResultStore(root=...) is deprecated; use "
+                    "repro.harness.store.open_store(url) or "
+                    "ResultStore(backend=...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                backend = DirectoryBackend(root)
+            else:
+                backend = DirectoryBackend(default_cache_dir())
+        self.backend = backend
+
+    @property
+    def root(self) -> Path:
+        """The backend's location as a path (kept for compatibility).
+
+        Meaningful for directory and SQLite backends; for ``kv://`` it
+        is the ``host:port`` string wrapped in a Path.  Prefer
+        :attr:`url` for display.
+        """
+        return Path(self.backend.location)
+
+    @property
+    def url(self) -> str:
+        """Canonical ``scheme://location`` spelling of the backend."""
+        return describe(self.backend)
 
     # ------------------------------------------------------------------
     # Keying
@@ -95,7 +155,8 @@ class ResultStore:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        """Directory-backend entry path (compatibility helper)."""
+        return self.backend.path_for(key)  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     # Load / save
@@ -105,106 +166,74 @@ class ResultStore:
         result = self._load(key)
         METRICS.counter(
             "store.reads_total",
+            backend=self.backend.name,
             outcome="hit" if result is not None else "miss",
         ).inc()
         return result
 
     def _load(self, key: str) -> Optional[SimResult]:
-        path = self._path(key)
         started = time.perf_counter()
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
+        payload = self.backend.load(key)
+        if payload is None:
             return None
-        except (OSError, json.JSONDecodeError):
-            # Torn or corrupt entry (e.g. a crashed writer on a filesystem
-            # without atomic replace): drop it and re-simulate.
-            self._discard(path)
-            return None
-        # Only successful reads are timed: a cold miss fails open() fast
-        # and would drown the histogram in not-found noise.
+        # Only successful reads are timed: a cold miss fails fast and
+        # would drown the histogram in not-found noise.
         self._observe_io("load", started)
         if payload.get("schema") != SCHEMA_VERSION:
-            self._discard(path)
+            self.backend.delete(key)
             return None
         try:
             return SimResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
-            self._discard(path)
+            self.backend.delete(key)
             return None
 
-    def save(self, key: str, result: SimResult) -> Path:
-        """Atomically persist ``result`` under ``key``; returns the path."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def save(self, key: str, result: SimResult) -> Optional[Path]:
+        """Durably persist ``result`` under ``key`` (atomic, last wins).
+
+        Returns the entry's on-disk path when the backend is file-per-key
+        (the historical return value); backends without per-entry paths
+        return None.
+        """
         payload = {"schema": SCHEMA_VERSION, "result": result.to_dict()}
         started = time.perf_counter()
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                # allow_nan=False enforces the strict-JSON contract: any
-                # non-finite float must already be tagged by the stats
-                # encoder (repro.sim.stats.encode_json_floats), never
-                # smuggled through as an invalid NaN/Infinity literal.
-                json.dump(payload, handle, allow_nan=False)
-            os.replace(tmp_name, path)
-        except BaseException:
-            self._discard(Path(tmp_name))
-            raise
+        self.backend.save(key, payload)
         self._observe_io("save", started)
-        return path
+        path_for = getattr(self.backend, "path_for", None)
+        return path_for(key) if path_for is not None else None
 
-    @staticmethod
-    def _observe_io(op: str, started: float) -> None:
+    def _observe_io(self, op: str, started: float) -> None:
         METRICS.histogram(
-            "store.io_seconds", buckets=DEFAULT_IO_BUCKETS, op=op
+            "store.io_seconds",
+            buckets=DEFAULT_IO_BUCKETS,
+            backend=self.backend.name,
+            op=op,
         ).observe(max(time.perf_counter() - started, 0.0))
 
     def contains(self, key: str) -> bool:
-        return self._path(key).is_file()
-
-    @staticmethod
-    def _discard(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        return self.backend.contains(key)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def _entries(self):
-        if not self.root.is_dir():
-            return
-        for path in sorted(self.root.glob("*/*.json")):
-            yield path
-
     def stats(self) -> StoreStats:
-        entries = 0
-        total = 0
-        for path in self._entries():
-            entries += 1
-            try:
-                total += path.stat().st_size
-            except OSError:
-                pass
-        return StoreStats(root=str(self.root), entries=entries, total_bytes=total)
+        return self.backend.stats()
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
-        removed = 0
-        for path in self._entries():
-            self._discard(path)
-            removed += 1
-        # Sweep now-empty fanout directories (best effort).
-        if self.root.is_dir():
-            for child in self.root.iterdir():
-                if child.is_dir():
-                    try:
-                        child.rmdir()
-                    except OSError:
-                        pass
-        return removed
+        return self.backend.clear()
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ENV_CACHE_DIR",
+    "DEFAULT_CACHE_DIR",
+    "default_cache_dir",
+    "open_store",
+    "ResultStore",
+    "StoreBackend",
+    "StoreStats",
+]

@@ -27,6 +27,18 @@ Registries are per-process and unsynchronised, matching the rest of the
 observability layer: the service event loop and the harness both live in
 the parent process, and worker processes never report metrics directly —
 their effects are observed from the parent side.
+
+Well-known instrument names (the dashboard contract):
+
+* ``store.reads_total{backend=, outcome=hit|miss}`` and
+  ``store.io_seconds{backend=, op=load|save}`` — emitted by the
+  :class:`~repro.harness.store.ResultStore` *wrapper*, never by
+  individual backends, so every backend (``dir``/``sqlite``/``kv``)
+  reports under the same names and differs only in the ``backend`` label.
+* ``fleet.requests_total{shard=}``, ``fleet.failovers_total``,
+  ``fleet.shed_total`` — front-door accounting of
+  :class:`~repro.service.fleet.ServiceFleet`.  Shards share one
+  registry, so service-level latency histograms merge fleet-wide.
 """
 
 from __future__ import annotations

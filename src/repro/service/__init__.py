@@ -16,10 +16,25 @@ to the service itself), and batches admitted jobs into
   scripted request files ``repro serve`` consumes;
 * :mod:`repro.service.ledger` — request-ledger record/replay with
   latency/shed-rate budget gating (``repro serve --record`` /
-  ``repro replay``).
+  ``repro replay``);
+* :mod:`repro.service.fleet` — consistent-hash sharding: N services
+  behind one front door (``repro serve --shards N``), per-shard
+  admission, fleet-wide coalescing/dedup and ledger invariants.
 """
 
-from repro.errors import ReplayBudgetExceeded, ServiceClosed, ServiceOverloaded
+from repro.errors import (
+    FleetOverloaded,
+    ReplayBudgetExceeded,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.service.fleet import (
+    ConsistentHashRing,
+    FleetConfig,
+    FleetStats,
+    ServiceFleet,
+    fleet_runners,
+)
 from repro.service.ledger import (
     LedgerEntry,
     ReplayBudgets,
@@ -55,8 +70,12 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "BatchScheduler",
+    "ConsistentHashRing",
     "CostModel",
     "DEFAULT_MATRIX",
+    "FleetConfig",
+    "FleetOverloaded",
+    "FleetStats",
     "LedgerEntry",
     "ReplayBudgetExceeded",
     "ReplayBudgets",
@@ -65,6 +84,7 @@ __all__ = [
     "RequestLike",
     "ServiceClosed",
     "ServiceConfig",
+    "ServiceFleet",
     "ServiceJob",
     "ServiceOverloaded",
     "ServiceStats",
@@ -73,6 +93,7 @@ __all__ = [
     "WindowedEWMA",
     "drive_service",
     "dump_requests",
+    "fleet_runners",
     "generate_traffic",
     "load_requests",
     "replay_ledger",

@@ -239,7 +239,7 @@ class RequestLedger:
 # Driving a service from a request script
 # ----------------------------------------------------------------------
 async def drive_service(
-    service: SimulationService,
+    service,  # SimulationService or ServiceFleet (duck-typed submit)
     requests: Sequence[TrafficRequest],
     *,
     speed: float = 1.0,
@@ -423,6 +423,8 @@ async def replay_ledger(
     *,
     speed: float = 1.0,
     runner: Optional[Runner] = None,
+    runners: Optional[Sequence[Runner]] = None,
+    shards: int = 1,
     config: Optional[ServiceConfig] = None,
     policy: Optional[ExecutionPolicy] = None,
     faults: Optional[FaultPlan] = None,
@@ -437,15 +439,42 @@ async def replay_ledger(
     entries are diffed against the recording: simulation results must be
     bit-identical (any divergence is listed in ``mismatches``), while
     measured latencies feed the report for budget gating.
+
+    ``shards > 1`` replays against a
+    :class:`~repro.service.fleet.ServiceFleet` instead of a single
+    service — pass per-shard ``runners`` (see
+    :func:`~repro.service.fleet.fleet_runners`) to share a store across
+    the fleet; ``drive_service`` treats the two identically, and
+    :class:`~repro.errors.FleetOverloaded` records as ``shed`` like any
+    other :class:`~repro.errors.ServiceOverloaded`.
     """
-    service = SimulationService(
-        runner,
-        config=config if config is not None else ServiceConfig(jobs=2),
-        policy=policy,
-        faults=faults,
-        tracer=tracer,
-        metrics=metrics if metrics is not None else MetricsRegistry(),
-    )
+    if runners is not None and runner is not None:
+        raise HarnessError("pass either runner or runners, not both")
+    service_config = config if config is not None else ServiceConfig(jobs=2)
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    if shards > 1 or runners is not None:
+        # Deferred import: fleet pulls in the store/backends stack,
+        # which single-service replays never need.
+        from repro.service.fleet import FleetConfig, ServiceFleet
+
+        shard_count = max(shards, len(runners) if runners else 0, 1)
+        service = ServiceFleet(
+            runners,
+            config=FleetConfig(shards=shard_count, service=service_config),
+            policy=policy,
+            faults=faults,
+            tracer=tracer,
+            metrics=metrics,
+        )
+    else:
+        service = SimulationService(
+            runner,
+            config=service_config,
+            policy=policy,
+            faults=faults,
+            tracer=tracer,
+            metrics=metrics,
+        )
     async with service:
         replayed_entries = await drive_service(
             service, ledger.requests(), speed=speed

@@ -28,7 +28,7 @@ from repro.harness.parallel import (
     ParallelRunner,
 )
 from repro.harness.runner import RunConfig, Runner
-from repro.harness.store import ResultStore
+from repro.harness.store import open_store
 from repro.service import ServiceConfig, SimulationService
 
 #: The two cheapest end-to-end benchmarks.
@@ -129,7 +129,7 @@ class TestExecutionPolicy:
 
 class TestFlakyStore:
     def test_budgeted_errors_then_delegates(self, tmp_path):
-        flaky = FlakyStore(ResultStore(tmp_path), save_errors=1, load_errors=1)
+        flaky = FlakyStore(open_store(tmp_path), save_errors=1, load_errors=1)
         key = flaky.key_for(CONFIGS[0], Runner().config, 1000)  # delegated
         with pytest.raises(OSError):
             flaky.load(key)
@@ -137,16 +137,16 @@ class TestFlakyStore:
 
     def test_runner_survives_store_io_errors(self, tmp_path):
         plan = FaultPlan(store_save_errors=10, store_load_errors=10)
-        store = plan.flaky_store(ResultStore(tmp_path))
+        store = plan.flaky_store(open_store(tmp_path))
         runner = Runner(store=store)
         result = runner.run(CONFIGS[0])
         assert result.makespan > 0
         # Every disk write failed, but the memory cache still answers.
         assert runner.cached(CONFIGS[0]) is result
-        assert ResultStore(tmp_path).stats().entries == 0
+        assert open_store(tmp_path).stats().entries == 0
 
     def test_flaky_store_passthrough_when_no_budget(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = open_store(tmp_path)
         assert FaultPlan().flaky_store(store) is store
         assert FaultPlan().flaky_store(None) is None
 
@@ -258,11 +258,11 @@ class TestQuarantine:
 class TestResume:
     def test_resume_dispatches_only_missing_configs(self, tmp_path):
         # First (partial) pass: two of the four runs reach the store.
-        first = Runner(store=ResultStore(tmp_path))
+        first = Runner(store=open_store(tmp_path))
         for config in CONFIGS[:2]:
             first.run(config)
         # Fresh process-equivalent: cold memory cache, same store.
-        pr = ParallelRunner(Runner(store=ResultStore(tmp_path)), jobs=2)
+        pr = ParallelRunner(Runner(store=open_store(tmp_path)), jobs=2)
         report = pr.run_suite(CONFIGS)
         assert report.resumed == 2
         # Only the two missing configs became work items.
@@ -271,12 +271,12 @@ class TestResume:
         ]
         assert all(o.status == OK for o in report.outcomes)
         assert report.ok and all(r is not None for r in report.results)
-        assert ResultStore(tmp_path).stats().entries == 4
+        assert open_store(tmp_path).stats().entries == 4
 
     def test_fully_cached_suite_dispatches_nothing(self, tmp_path):
-        warm = Runner(store=ResultStore(tmp_path))
+        warm = Runner(store=open_store(tmp_path))
         ParallelRunner(warm, jobs=1).run_many(CONFIGS)
-        pr = ParallelRunner(Runner(store=ResultStore(tmp_path)), jobs=2)
+        pr = ParallelRunner(Runner(store=open_store(tmp_path)), jobs=2)
         report = pr.run_suite(CONFIGS)
         assert report.resumed == len(CONFIGS)
         assert report.outcomes == []
@@ -352,13 +352,13 @@ class TestServiceChaos:
 
     def test_flaky_store_under_live_traffic(self, baseline, tmp_path):
         plan = FaultPlan(store_save_errors=10, store_load_errors=10)
-        runner = Runner(store=plan.flaky_store(ResultStore(tmp_path)))
+        runner = Runner(store=plan.flaky_store(open_store(tmp_path)))
         stats, results = serve_chaos(CONFIGS, faults=plan, runner=runner)
         assert stats.failed == 0
         assert stats.lost == 0
         assert [r.summary() for r in results] == baseline
         # Every disk write failed; the service never noticed.
-        assert ResultStore(tmp_path).stats().entries == 0
+        assert open_store(tmp_path).stats().entries == 0
 
     def test_combined_kill_and_flaky_store_completes_the_rest(
         self, baseline, tmp_path
@@ -372,7 +372,7 @@ class TestServiceChaos:
             store_save_errors=10,
             store_load_errors=10,
         )
-        runner = Runner(store=plan.flaky_store(ResultStore(tmp_path)))
+        runner = Runner(store=plan.flaky_store(open_store(tmp_path)))
         stats, results = serve_chaos(
             CONFIGS,
             faults=plan,

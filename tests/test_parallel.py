@@ -7,7 +7,7 @@ from repro.harness.parallel import ParallelRunner, default_jobs
 from repro.harness.replication import replicate, replication_plan
 from repro.harness.runner import RunConfig, Runner
 from repro.harness.schemes import DP_SCHEMES
-from repro.harness.store import ResultStore
+from repro.harness.store import open_store
 from repro.harness.sweep import offline_search, sweep_plan, threshold_sweep
 from repro.workloads import get_benchmark
 
@@ -101,7 +101,7 @@ class TestRunMany:
         assert runner.cache_size() == 1
 
     def test_persists_to_store(self, tmp_path):
-        runner = Runner(store=ResultStore(tmp_path))
+        runner = Runner(store=open_store(tmp_path))
         pr = ParallelRunner(runner, jobs=2)
         configs = [
             RunConfig(benchmark=FAST, scheme="flat"),
@@ -110,7 +110,7 @@ class TestRunMany:
         pr.run_many(configs)
         assert runner.store.stats().entries == 2
         # A cold runner over the same store simulates nothing.
-        cold = Runner(store=ResultStore(tmp_path))
+        cold = Runner(store=open_store(tmp_path))
         for config in configs:
             assert cold.cached(config) is not None
 

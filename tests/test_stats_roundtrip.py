@@ -12,7 +12,7 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.harness.store import ResultStore
+from repro.harness.store import open_store
 from repro.sim.engine import SimResult
 from repro.sim.stats import SimStats, decode_json_floats, encode_json_floats
 
@@ -95,7 +95,7 @@ class TestStoreRoundtrip:
             makespan=float("nan"), launch_times=[float("inf")]
         )
         result = SimResult("app", "policy", stats)
-        store = ResultStore(tmp_path)
+        store = open_store(tmp_path)
         path = store.save("ab" + "0" * 62, result)
         raw = path.read_text()
         assert "NaN" not in raw and "Infinity" not in raw

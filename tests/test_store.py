@@ -6,7 +6,7 @@ import pytest
 
 from repro.harness import store as store_mod
 from repro.harness.runner import RunConfig, Runner
-from repro.harness.store import ResultStore
+from repro.harness.store import ResultStore, open_store
 from repro.obs.profile import REGISTRY
 from repro.sim.config import GPUConfig
 
@@ -47,7 +47,7 @@ class TestKeying:
 
     def test_engine_round_trips_without_collision(self, tmp_path, config):
         """Fast and reference results for the same run never share an entry."""
-        store = ResultStore(tmp_path)
+        store = open_store(tmp_path)
         runner = Runner(config, store=store)
         default_cfg = RunConfig(benchmark=FAST, scheme="spawn")
         fast_cfg = RunConfig(benchmark=FAST, scheme="spawn", engine="fast")
@@ -58,7 +58,7 @@ class TestKeying:
         )
         # A fresh runner on the same store answers both from disk, each
         # from its own entry, and the payloads round-trip identically.
-        reread = Runner(config, store=ResultStore(tmp_path))
+        reread = Runner(config, store=open_store(tmp_path))
         assert reread.cached(default_cfg).summary() == default_result.summary()
         assert reread.cached(fast_cfg).summary() == fast_result.summary()
 
@@ -78,11 +78,11 @@ class TestRoundTrip:
     def test_save_load_summary_identical(self, tmp_path, run_config):
         runner = Runner()
         result = runner.run(run_config)
-        store = ResultStore(tmp_path)
+        store = open_store(tmp_path)
         key = store.key_for(run_config, runner.config, runner.max_events)
         store.save(key, result)
         assert store.contains(key)
-        loaded = ResultStore(tmp_path).load(key)
+        loaded = open_store(tmp_path).load(key)
         assert loaded is not None
         assert loaded.summary() == result.summary()
         assert loaded.makespan == result.makespan
@@ -93,11 +93,11 @@ class TestRoundTrip:
         assert loaded.stats.smx_occupancy == result.stats.smx_occupancy
 
     def test_missing_key_is_none(self, tmp_path):
-        assert ResultStore(tmp_path).load("ab" * 32) is None
+        assert open_store(tmp_path).load("ab" * 32) is None
 
     def test_corrupt_entry_is_miss_and_removed(self, tmp_path, run_config):
         runner = Runner()
-        store = ResultStore(tmp_path)
+        store = open_store(tmp_path)
         key = store.key_for(run_config, runner.config, runner.max_events)
         store.save(key, runner.run(run_config))
         path = store._path(key)
@@ -109,7 +109,7 @@ class TestRoundTrip:
         self, tmp_path, run_config, monkeypatch
     ):
         runner = Runner()
-        store = ResultStore(tmp_path)
+        store = open_store(tmp_path)
         old_key = store.key_for(run_config, runner.config, runner.max_events)
         store.save(old_key, runner.run(run_config))
         monkeypatch.setattr(store_mod, "SCHEMA_VERSION", store_mod.SCHEMA_VERSION + 1)
@@ -124,7 +124,7 @@ class TestRoundTrip:
 class TestMaintenance:
     def test_stats_and_clear(self, tmp_path, run_config):
         runner = Runner()
-        store = ResultStore(tmp_path)
+        store = open_store(tmp_path)
         empty = store.stats()
         assert empty.entries == 0 and empty.total_bytes == 0
         result = runner.run(run_config)
@@ -146,11 +146,11 @@ class TestMaintenance:
 
 class TestRunnerIntegration:
     def test_memory_then_disk_then_simulate(self, tmp_path, run_config):
-        first = Runner(cache_dir=tmp_path)
+        first = Runner(store=open_store(tmp_path))
         result = first.run(run_config)
         # A second runner (fresh process stand-in) answers from disk.
         REGISTRY.counters.pop("runner.disk_hits", None)
-        second = Runner(cache_dir=tmp_path)
+        second = Runner(store=open_store(tmp_path))
         loaded = second.run(run_config)
         assert loaded.summary() == result.summary()
         assert REGISTRY.counters.get("runner.disk_hits", 0) == 1
@@ -160,9 +160,9 @@ class TestRunnerIntegration:
         assert REGISTRY.counters.get("runner.disk_hits", 0) == 0
 
     def test_cached_probe_does_not_simulate(self, tmp_path, run_config):
-        warm = Runner(cache_dir=tmp_path)
+        warm = Runner(store=open_store(tmp_path))
         warm.run(run_config)
-        probe = Runner(cache_dir=tmp_path)
+        probe = Runner(store=open_store(tmp_path))
         assert probe.cached(run_config) is not None
         assert probe.cached(RunConfig(benchmark=FAST, scheme="dtbl")) is None
 
@@ -172,7 +172,7 @@ class TestRunnerIntegration:
 
     def test_trace_interval_not_conflated(self, tmp_path):
         """Regression: runs differing only in trace_interval are distinct."""
-        runner = Runner(cache_dir=tmp_path)
+        runner = Runner(store=open_store(tmp_path))
         coarse = runner.run(RunConfig(benchmark=FAST, scheme="flat"))
         fine = runner.run(
             RunConfig(benchmark=FAST, scheme="flat", trace_interval=100.0)
