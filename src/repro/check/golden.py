@@ -46,6 +46,17 @@ GOLDEN_MATRIX: Tuple[Tuple[str, str], ...] = (
     ("Mandel", "spawn"),
     ("BFS-graph500", "spawn"),
     ("SSSP-citation", "dtbl"),
+    # Scheme zoo (consolidate / aggregate / acs), three benchmarks each:
+    # pins merged-kernel construction, flush ordering, and ACS binding.
+    ("BFS-citation", "consolidate"),
+    ("GC-citation", "consolidate"),
+    ("SSSP-citation", "consolidate"),
+    ("BFS-citation", "aggregate:block"),
+    ("GC-citation", "aggregate:block"),
+    ("SSSP-citation", "aggregate:block"),
+    ("BFS-citation", "acs"),
+    ("GC-citation", "acs"),
+    ("SSSP-citation", "acs"),
 )
 
 #: Seed pinned for every golden run (RunConfig's default).
@@ -211,7 +222,7 @@ def record_trace(
     from repro.sim.config import GPUConfig
 
     config = GPUConfig()
-    checker = ConformanceChecker(config)
+    checker = ConformanceChecker(config, scheme=scheme)
     runner = Runner(config)
     result = runner.run(
         RunConfig(

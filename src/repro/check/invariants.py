@@ -32,6 +32,15 @@ Checked invariants, with the paper sections they encode:
   decisions``, launch-time list length, makespan vs last completion), plus
   end-of-run completeness (no kernel arrived but never completed, no CTA
   dispatched but never finished, no HWQ still bound).
+* **merge** — scheme-zoo invariants for consolidate/aggregate runs: a
+  merged kernel launches exactly as many CTAs as its constituents total
+  (conservation), every constituent comes from the merge scope's single
+  context (one warp / one CTA / one grid), and consolidation never buffers
+  past its batch bound before flushing.  Constructing the checker with
+  ``scheme=`` pins the expected scope and batch; under ``acs`` the
+  cross-stream FCFS binding checks are relaxed (ACS deliberately reorders
+  binding) while the same-stream sequential-order checks — the invariant
+  ACS must preserve — stay armed.
 """
 
 from __future__ import annotations
@@ -51,11 +60,12 @@ from repro.obs.tracer import (
     KERNEL_FIRST_DISPATCH,
     KERNEL_SUSPEND,
     LAUNCH_DECISION,
+    LAUNCH_MERGE,
     ListSink,
     TraceEvent,
     Tracer,
 )
-from repro.sim.config import GPUConfig
+from repro.sim.config import WARP_SIZE, GPUConfig
 
 #: Relative tolerance for re-derived Equation 1/2 estimates.  The checker
 #: replays the controller's exact arithmetic, so agreement is normally
@@ -63,7 +73,9 @@ from repro.sim.config import GPUConfig
 _REL_TOL = 1e-9
 
 #: Verdict strings a LAUNCH_DECISION may carry (DecisionKind values).
-_VERDICTS = frozenset({"launch", "serial", "coalesce", "reuse"})
+_VERDICTS = frozenset(
+    {"launch", "serial", "coalesce", "reuse", "consolidate", "aggregate"}
+)
 
 #: Verdicts that actually put a child grid on the GPU.
 _ADMITTING = frozenset({"launch", "coalesce"})
@@ -125,6 +137,7 @@ class ConformanceChecker(Tracer):
         self,
         config: GPUConfig,
         *,
+        scheme: Optional[str] = None,
         max_queue_size: int = 65536,
         keep_events: bool = True,
     ):
@@ -132,6 +145,24 @@ class ConformanceChecker(Tracer):
         self.config = config
         self.max_queue_size = max_queue_size
         self.keep_events = keep_events
+        #: Scheme-aware expectations.  With no scheme the checker accepts
+        #: whatever scope a merge event declares (still enforcing its
+        #: internal consistency) and keeps strict FCFS binding checks.
+        self.scheme = scheme
+        self._acs = False
+        self._merge_scope: Optional[str] = None
+        self._merge_batch: Optional[int] = None
+        if scheme is not None:
+            # Deferred import: the checker is usable without the harness.
+            from repro.harness.schemes import SchemeSpec
+
+            spec = SchemeSpec.parse(scheme)
+            self._acs = spec.bind_policy != "fcfs"
+            if spec.batch_ctas is not None:
+                self._merge_scope = "cta"
+                self._merge_batch = spec.batch_ctas
+            elif spec.granularity is not None:
+                self._merge_scope = spec.granularity
         self.launch_overhead_cycles = float(config.launch.latency(1))
         self.violations: List[Violation] = []
         self.events_checked = 0
@@ -150,6 +181,12 @@ class ConformanceChecker(Tracer):
         self._decision_counts = {v: 0 for v in _VERDICTS}
         self._admitted_ctas = 0
         self._decision_child_ids: Set[int] = set()
+        # --- merged-launch accounting ----------------------------------
+        self._merge_child_ids: Set[int] = set()
+        self._merge_expected: Dict[int, int] = {}  # child id -> num_ctas
+        self._merged_launches = 0
+        self._merged_ctas = 0
+        self._merged_requests = 0
         self._last_completion: Optional[float] = None
         self._handlers: Dict[str, Callable[[TraceEvent], None]] = {
             KERNEL_ARRIVAL: self._on_arrival,
@@ -161,6 +198,7 @@ class ConformanceChecker(Tracer):
             HWQ_BIND: self._on_hwq_bind,
             HWQ_RELEASE: self._on_hwq_release,
             LAUNCH_DECISION: self._on_decision,
+            LAUNCH_MERGE: self._on_merge,
         }
 
     # ------------------------------------------------------------------
@@ -235,6 +273,13 @@ class ConformanceChecker(Tracer):
                 "hwq", f"streams {sorted(self._bound)} still bound at end of run",
                 tail, index,
             )
+        if self._merge_expected:
+            self._fail(
+                "merge",
+                f"merged kernels {sorted(self._merge_expected)[:3]} were "
+                "flushed but never arrived at the GMU",
+                tail, index,
+            )
         if stats is not None:
             stats = getattr(stats, "stats", stats)  # accept SimResult
             self._check_stats_identities(stats, tail, index)
@@ -243,12 +288,21 @@ class ConformanceChecker(Tracer):
     def _check_stats_identities(self, stats, tail: TraceEvent, index: int) -> None:
         counts = self._decision_counts
         launched = counts["launch"] + counts["coalesce"]
+        buffered = counts["consolidate"] + counts["aggregate"]
         checks = [
             ("child_kernels_launched", stats.child_kernels_launched, launched),
             ("child_kernels_declined", stats.child_kernels_declined, counts["serial"]),
             ("child_kernels_reused", stats.child_kernels_reused, counts["reuse"]),
-            ("child_ctas_launched", stats.child_ctas_launched, self._admitted_ctas),
-            ("len(launch_times)", len(stats.launch_times), launched),
+            ("child_kernels_consolidated", stats.child_kernels_consolidated,
+             counts["consolidate"]),
+            ("child_kernels_aggregated", stats.child_kernels_aggregated,
+             counts["aggregate"]),
+            ("merged_kernels_launched", stats.merged_kernels_launched,
+             self._merged_launches),
+            ("child_ctas_launched", stats.child_ctas_launched,
+             self._admitted_ctas + self._merged_ctas),
+            ("len(launch_times)", len(stats.launch_times),
+             launched + self._merged_launches),
         ]
         for name, got, want in checks:
             if got != want:
@@ -256,17 +310,27 @@ class ConformanceChecker(Tracer):
                     "stats", f"{name}={got} but the trace implies {want}",
                     tail, index,
                 )
+        if self._merged_requests != buffered:
+            self._fail(
+                "merge",
+                f"{buffered} requests got a consolidate/aggregate verdict "
+                f"but merge events account for {self._merged_requests} "
+                "(some buffered launches never flushed)",
+                tail, index,
+            )
         decisions = sum(counts.values())
         accounted = (
             stats.child_kernels_launched
             + stats.child_kernels_declined
             + stats.child_kernels_reused
+            + stats.child_kernels_consolidated
+            + stats.child_kernels_aggregated
         )
         if accounted != decisions:
             self._fail(
                 "stats",
-                f"launched+serialized+reused = {accounted} but the trace has "
-                f"{decisions} decisions",
+                f"launched+serialized+reused+buffered = {accounted} but the "
+                f"trace has {decisions} decisions",
                 tail, index,
             )
         if self._last_completion is not None and stats.makespan != self._last_completion:
@@ -279,9 +343,10 @@ class ConformanceChecker(Tracer):
         arrived_children = {
             kid for kid, ledger in self._kernels.items() if ledger.is_child
         }
-        if self._decision_child_ids != arrived_children:
-            missing = self._decision_child_ids - arrived_children
-            phantom = arrived_children - self._decision_child_ids
+        launched_children = self._decision_child_ids | self._merge_child_ids
+        if launched_children != arrived_children:
+            missing = launched_children - arrived_children
+            phantom = arrived_children - launched_children
             self._fail(
                 "stats",
                 "launched child ids and arrived child ids differ "
@@ -328,6 +393,14 @@ class ConformanceChecker(Tracer):
         self._kernels[kid] = _KernelLedger(
             args["num_ctas"], stream, via_dtbl, bool(args.get("is_child", False))
         )
+        promised = self._merge_expected.pop(kid, None)
+        if promised is not None and args["num_ctas"] != promised:
+            self._fail(
+                "merge",
+                f"merged kernel {kid} arrived with {args['num_ctas']} CTAs "
+                f"but its merge event promised {promised}",
+                event,
+            )
         if not via_dtbl:
             # Mirror the GMU's SWQ bookkeeping.  NOTE the emission order in
             # the engine: an immediately-satisfiable bind's HWQ_BIND event
@@ -491,7 +564,14 @@ class ConformanceChecker(Tracer):
         if swq in self._bound:
             self._fail("hwq", f"stream {swq} bound while already bound", event)
             return
-        if self._waiting:
+        if self._acs:
+            # ACS reorders cross-stream binding on purpose; keep the
+            # waiting mirror coherent but skip the FCFS ordering checks.
+            # Same-stream sequential order (checked at first-dispatch and
+            # retirement) remains fully armed — that is ACS's contract.
+            if swq in self._waiting:
+                self._waiting.remove(swq)
+        elif self._waiting:
             expected = self._waiting[0]
             if swq == expected:
                 self._waiting.popleft()
@@ -565,6 +645,87 @@ class ConformanceChecker(Tracer):
         if "bootstrap" not in args:
             return  # no SPAWN audit payload (threshold/DTBL/free-launch)
         self._reevaluate_spawn(event)
+
+    def _on_merge(self, event: TraceEvent) -> None:
+        """Scheme-zoo invariants for one merged-kernel flush.
+
+        ``src`` rows are ``[parent_kernel_id, cta_index, warp, tid,
+        num_ctas]`` — one per buffered constituent request.
+        """
+        args = event.args
+        scope = args.get("scope")
+        if scope not in ("warp", "block", "cta", "grid"):
+            self._fail("merge", f"unknown merge scope {scope!r}", event)
+            return
+        if self.scheme is not None and scope != self._merge_scope:
+            self._fail(
+                "merge",
+                f"{scope}-scope merge under scheme {self.scheme!r} "
+                f"(expected scope {self._merge_scope!r})",
+                event,
+            )
+        src = args.get("src") or []
+        if not src:
+            self._fail("merge", "merge event with no source requests", event)
+            return
+        if args.get("num_requests") != len(src):
+            self._fail(
+                "merge",
+                f"merge event reports num_requests={args.get('num_requests')} "
+                f"but carries {len(src)} source rows",
+                event,
+            )
+        total = sum(row[4] for row in src)
+        if total != args["num_ctas"]:
+            self._fail(
+                "merge",
+                f"merged kernel launches {args['num_ctas']} CTAs but its "
+                f"{len(src)} constituents total {total} "
+                "(CTA conservation violated)",
+                event,
+            )
+        if scope == "grid":
+            contexts = {row[0] for row in src}
+        elif scope == "warp":
+            contexts = {(row[0], row[1], row[2]) for row in src}
+        else:  # "block" and "cta" both mean one parent CTA
+            contexts = {(row[0], row[1]) for row in src}
+        if len(contexts) > 1:
+            self._fail(
+                "merge",
+                f"{scope}-scope merge spans {len(contexts)} distinct "
+                f"{scope} contexts (e.g. {sorted(contexts)[:3]})",
+                event,
+            )
+        if scope == "warp" and len({row[3] for row in src}) > WARP_SIZE:
+            self._fail(
+                "merge",
+                f"warp-scope merge drew from more than {WARP_SIZE} lanes",
+                event,
+            )
+        if self._merge_batch is not None and len(src) > 1:
+            if total - src[-1][4] >= self._merge_batch:
+                self._fail(
+                    "merge",
+                    f"consolidation overshot its batch bound: {total} child "
+                    f"CTAs buffered although the bound of {self._merge_batch} "
+                    "was already reached before the last constituent",
+                    event,
+                )
+        child = args.get("child_kernel_id")
+        if child is None:
+            self._fail("merge", "merge event carries no child_kernel_id", event)
+        else:
+            if child in self._merge_child_ids:
+                self._fail(
+                    "conservation", f"merged kernel {child} launched twice",
+                    event,
+                )
+            self._merge_child_ids.add(child)
+            self._merge_expected[child] = args["num_ctas"]
+        self._merged_launches += 1
+        self._merged_ctas += args["num_ctas"]
+        self._merged_requests += len(src)
 
     def _reevaluate_spawn(self, event: TraceEvent) -> None:
         """Replay Algorithm 1 from the traced monitor inputs.

@@ -36,6 +36,8 @@ class DecisionKind(enum.Enum):
     SERIAL = "serial"  # parent thread loops over the workload itself
     COALESCE = "coalesce"  # DTBL: CTAs appended to an aggregated kernel
     REUSE = "reuse"  # Free Launch: work spread over the parent CTA's threads
+    CONSOLIDATE = "consolidate"  # buffered into a coarser merged kernel
+    AGGREGATE = "aggregate"  # merged with co-scheduled requests at a granularity
 
 
 @dataclass(frozen=True)
@@ -192,6 +194,72 @@ class FreeLaunchPolicy(LaunchPolicy):
     def decide(self, request: LaunchRequest) -> DecisionKind:
         if request.items > self.threshold:
             return DecisionKind.REUSE
+        return DecisionKind.SERIAL
+
+
+#: Merge scopes a merging policy may declare (narrowest to widest).
+MERGE_SCOPES = ("warp", "block", "cta", "grid")
+
+
+class ConsolidatePolicy(LaunchPolicy):
+    """Workload consolidation: buffer tiny launches into coarser kernels.
+
+    Requests above the application THRESHOLD are not launched one by one;
+    the engine accumulates them per parent CTA and submits one merged
+    kernel once ``batch_ctas`` child CTAs have been gathered (or when the
+    parent CTA finishes computing).  One launch overhead is paid per
+    *merged* kernel instead of per request — the trade is a later start
+    for the first buffered children.
+    """
+
+    #: The engine reads this to pick its buffering/flush granularity.
+    merge_scope = "cta"
+
+    def __init__(self, threshold: int, batch_ctas: int = 8):
+        if threshold < 0:
+            raise ConfigError("threshold must be non-negative")
+        if batch_ctas < 1:
+            raise ConfigError("batch_ctas must be positive")
+        self.threshold = threshold
+        self.batch_ctas = batch_ctas
+        self.name = f"consolidate-{threshold}-b{batch_ctas}"
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        if request.items > self.threshold:
+            return DecisionKind.CONSOLIDATE
+        return DecisionKind.SERIAL
+
+
+class AggregatePolicy(LaunchPolicy):
+    """Launch aggregation at warp/block/grid granularity (Olabi et al.).
+
+    The DP compiler framework of arXiv:2201.02789 rewrites device-side
+    launches so that all requests issued by one warp / thread block / grid
+    are aggregated into a single child kernel.  Requests above the
+    application THRESHOLD are merged by the engine with every other
+    admitted request in the same scope; below it they serialize, exactly
+    like ``threshold:<T>``.
+    """
+
+    def __init__(self, threshold: int, granularity: str):
+        if threshold < 0:
+            raise ConfigError("threshold must be non-negative")
+        if granularity not in ("warp", "block", "grid"):
+            raise ConfigError(
+                f"aggregate granularity must be warp, block, or grid, "
+                f"got {granularity!r}"
+            )
+        self.threshold = threshold
+        self.granularity = granularity
+        self.name = f"aggregate-{granularity}-{threshold}"
+
+    @property
+    def merge_scope(self) -> str:
+        return self.granularity
+
+    def decide(self, request: LaunchRequest) -> DecisionKind:
+        if request.items > self.threshold:
+            return DecisionKind.AGGREGATE
         return DecisionKind.SERIAL
 
 

@@ -12,6 +12,7 @@ from repro.experiments import (
     extra_bootstrap,
     extra_gpu_scaling,
     extra_policy_matrix,
+    extra_scheme_zoo,
     fig01_imbalance,
     fig05_distribution,
     fig06_concurrency,
@@ -53,6 +54,7 @@ EXTRA_EXPERIMENTS: Dict[str, Callable] = {
     "policy-matrix": extra_policy_matrix.run,
     "bootstrap-sensitivity": extra_bootstrap.run,
     "gpu-scaling": extra_gpu_scaling.run,
+    "scheme-zoo": extra_scheme_zoo.run,
 }
 
 

@@ -31,13 +31,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.harness.runner import RunConfig, Runner
 from repro.workloads.base import get_benchmark
 
-#: The timed pairs: the suite's slowest simulations plus one fast control.
+#: The timed pairs: the suite's slowest simulations plus one fast control,
+#: and the scheme-zoo pairs (merge-buffer flushing and ACS binding put
+#: different pressure on the event loop than plain DP launches).
 BENCH_PAIRS: Tuple[Tuple[str, str], ...] = (
     ("SA-thaliana", "spawn"),
     ("SA-thaliana", "baseline-dp"),
     ("GC-graph500", "baseline-dp"),
     ("JOIN-uniform", "spawn"),
     ("BFS-graph500", "spawn"),
+    ("SSSP-citation", "consolidate"),
+    ("SSSP-citation", "aggregate:block"),
+    ("SSSP-citation", "acs"),
 )
 
 #: Pre-optimization engine timings (seconds, best of 3, warm inputs) and
@@ -49,6 +54,15 @@ REFERENCE: Dict[str, Dict[str, float]] = {
     "GC-graph500/baseline-dp": {"seconds": 1.7078, "makespan": 1430960.9621359222},
     "JOIN-uniform/spawn": {"seconds": 1.7569, "makespan": 208378.7464706742},
     "BFS-graph500/spawn": {"seconds": 0.177, "makespan": 196628.69311875236},
+    # Scheme-zoo pairs, recorded on the default engine at introduction
+    # (PR 9); the makespans double as the cross-engine fidelity contract.
+    "SSSP-citation/consolidate": {
+        "seconds": 0.5538, "makespan": 209957.2411666201,
+    },
+    "SSSP-citation/aggregate:block": {
+        "seconds": 0.4943, "makespan": 213973.54846833518,
+    },
+    "SSSP-citation/acs": {"seconds": 0.5155, "makespan": 493845.2103887623},
 }
 
 

@@ -181,7 +181,7 @@ class Runner:
             # graph for the overwhelmingly common check-free runs.
             from repro.check.invariants import ConformanceChecker
 
-            checker = ConformanceChecker(self.config)
+            checker = ConformanceChecker(self.config, scheme=run_config.scheme)
             tracer = (
                 checker if tracer is None else MultiTracer([tracer, checker])
             )
@@ -212,6 +212,11 @@ class Runner:
             app = benchmark.dp(run_config.seed, cta_threads=run_config.cta_threads)
         policy = sch.make_policy(spec, benchmark)
         stream_policy = self._stream_policy(run_config.stream_policy)
+        sim_kwargs = {}
+        if spec.bind_policy != "fcfs":
+            # Only non-default so seeded-bug gmu_factory partials (which
+            # re-spell GMU keywords) never collide on the kwarg.
+            sim_kwargs["bind_policy"] = spec.bind_policy
         sim = self._simulator_class(run_config.engine)(
             config=self.config,
             policy=policy,
@@ -219,6 +224,7 @@ class Runner:
             tracer=tracer,
             trace_interval=run_config.trace_interval,
             max_events=self.max_events,
+            **sim_kwargs,
         )
         with REGISTRY.profile(
             f"sim.run/{run_config.benchmark}/{run_config.scheme}"

@@ -58,7 +58,10 @@ from repro.sim.engine import SimResult
 #: v2: the run portion of the key document is RunConfig.key() verbatim.
 #: v3: RunConfig grew the ``engine`` field (fast vs. reference results
 #: must never collide, even though the fast core is certified identical).
-SCHEMA_VERSION = 3
+#: v4: the scheme zoo (consolidate / aggregate:<g> / acs) changed launch
+#: accounting (merged kernels, new SimStats counters), so pre-zoo stored
+#: payloads must not be served to post-zoo readers.
+SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

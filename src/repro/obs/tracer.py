@@ -48,6 +48,7 @@ LAUNCH_BATCH_SERVICE = "launch_unit.service"  # batch enters a service slot
 LAUNCH_BATCH_ARRIVE = "launch_unit.arrive"  # batch's kernels reach the GMU
 
 LAUNCH_DECISION = "launch.decision"  # policy verdict on one launch request
+LAUNCH_MERGE = "launch.merge"  # buffered requests flushed as one merged kernel
 
 # Fault-tolerant execution layer (repro.harness.parallel).  Unlike the
 # simulator kinds above, these are stamped with wall-clock seconds
@@ -89,6 +90,7 @@ ALL_KINDS = frozenset(
         LAUNCH_BATCH_SERVICE,
         LAUNCH_BATCH_ARRIVE,
         LAUNCH_DECISION,
+        LAUNCH_MERGE,
         HARNESS_RETRY,
         HARNESS_TIMEOUT,
         HARNESS_WORKER_CRASH,

@@ -27,8 +27,10 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import HarnessError
 from repro.harness.runner import RunConfig
 
-#: Default matrix: the suite's cheapest benchmarks under the three core
-#: schemes — heavy traffic without heavy simulations.
+#: Default matrix: the suite's cheapest benchmarks under the core schemes
+#: plus the scheme zoo — heavy traffic without heavy simulations.  The
+#: zoo pairs keep the admission cost model exercised on merged-kernel
+#: runs (different cycle rates than plain DP traffic).
 DEFAULT_MATRIX: Tuple[Tuple[str, str], ...] = (
     ("GC-citation", "flat"),
     ("GC-citation", "spawn"),
@@ -36,6 +38,9 @@ DEFAULT_MATRIX: Tuple[Tuple[str, str], ...] = (
     ("MM-small", "spawn"),
     ("GC-citation", "baseline-dp"),
     ("MM-small", "baseline-dp"),
+    ("GC-citation", "consolidate"),
+    ("GC-citation", "acs"),
+    ("SelfSim-sparse", "aggregate:block"),
 )
 
 

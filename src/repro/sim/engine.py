@@ -42,6 +42,7 @@ from repro.obs.tracer import (
     KERNEL_LAUNCH_CALL,
     KERNEL_SUSPEND,
     LAUNCH_DECISION,
+    LAUNCH_MERGE,
     NULL_TRACER,
     Tracer,
 )
@@ -59,6 +60,7 @@ from repro.sim.instances import (
 from repro.sim.kernel import Application, ChildRequest, KernelSpec, spec_from_request
 from repro.sim.launch import LaunchUnit
 from repro.sim.memory import MemorySystem
+from repro.sim.merge import build_merged_spec, merge_key
 from repro.sim.smx import SMX
 from repro.sim.stats import SimStats
 
@@ -128,6 +130,8 @@ class GPUSimulator:
         dtbl_coalesce_cycles: float = 150.0,
         max_lines_per_cta: int = 4096,
         latency_hiding: float = 0.35,
+        bind_policy: str = "fcfs",
+        merge_bug: Optional[str] = None,
     ):
         self.config = config or GPUConfig()
         self.policy = policy or AlwaysLaunchPolicy()
@@ -144,6 +148,14 @@ class GPUSimulator:
         if not 0 < latency_hiding <= 1:
             raise SimulationError("latency_hiding must be in (0, 1]")
         self.latency_hiding = latency_hiding
+        #: SWQ→HWQ binding policy forwarded to the GMU ("fcfs" or "acs").
+        self.bind_policy = bind_policy
+        if merge_bug not in (None, "unpadded", "cross_warp"):
+            raise SimulationError(f"unknown merge_bug {merge_bug!r}")
+        #: TEST-ONLY seeded defects in the merge path ("unpadded" breaks
+        #: CTA conservation, "cross_warp" breaks warp-scope isolation);
+        #: exists so conformance tests can prove the checker catches them.
+        self._merge_bug = merge_bug
         # Per-run state, created in _reset().
         self.queue: EventQueue
         self.smxs: List[SMX]
@@ -179,7 +191,15 @@ class GPUSimulator:
         self.queue = self.queue_factory()
         self.tracer.bind_clock(lambda: self.queue.now)
         self.smxs = [self.smx_factory(i, cfg) for i in range(cfg.num_smx)]
-        self.gmu = self.gmu_factory(cfg, tracer=self.tracer)
+        if self.bind_policy != "fcfs":
+            # Only pass the kwarg when non-default so partially-applied
+            # factories (conformance tests seed bugs via functools.partial)
+            # never see a duplicate keyword.
+            self.gmu = self.gmu_factory(
+                cfg, tracer=self.tracer, bind_policy=self.bind_policy
+            )
+        else:
+            self.gmu = self.gmu_factory(cfg, tracer=self.tracer)
         self.launch_unit = LaunchUnit(
             cfg.launch, self.queue, self._on_kernel_arrival, tracer=self.tracer
         )
@@ -202,6 +222,21 @@ class GPUSimulator:
         self._smx_events: List[Optional[Event]] = [None] * cfg.num_smx
         self._smx_rr = 0
         self._dtbl_pending: Deque[KernelInstance] = deque()
+        # Merge buffering (consolidate / aggregate): the active policy
+        # advertises its scope; non-merging policies leave it None and the
+        # whole machinery stays dormant (one attribute check per hook).
+        self._merge_scope: Optional[str] = getattr(
+            self.policy, "merge_scope", None
+        )
+        self._merge_batch: Optional[int] = (
+            getattr(self.policy, "batch_ctas", None)
+            if self._merge_scope == "cta"
+            else None
+        )
+        # (parent CTA -> compat key -> buffered entries) for cta/block
+        # scopes; (parent kernel -> compat key -> entries) for grid scope.
+        self._cta_merge: Dict[CTAInstance, Dict[tuple, list]] = {}
+        self._grid_merge: Dict[KernelInstance, Dict[tuple, list]] = {}
         self._unfinished_kernels = 0
         self._last_completion = 0.0
         self._res_parent_ctas = 0
@@ -472,6 +507,10 @@ class GPUSimulator:
         kernel = cta.kernel
         spec = kernel.spec
         batches: Dict[int, List[KernelInstance]] = {}
+        # Warp-scope aggregation groups within ONE decision pass: requests
+        # fired together by the same warp merge; nothing is buffered across
+        # passes (a warp's lanes launch in lockstep or not at all).
+        warp_groups: Dict[tuple, list] = {}
         for decision in fired:
             req = decision.request
             kind = self.policy.decide(
@@ -493,6 +532,20 @@ class GPUSimulator:
                     self._trace_decision(kind, decision, req, cta, now, None)
                 self._apply_reuse(cta, req)
                 continue
+            if kind is DecisionKind.CONSOLIDATE or kind is DecisionKind.AGGREGATE:
+                if self.tracer.enabled:
+                    self._trace_decision(kind, decision, req, cta, now, None)
+                if kind is DecisionKind.CONSOLIDATE:
+                    self.stats.child_kernels_consolidated += 1
+                else:
+                    self.stats.child_kernels_aggregated += 1
+                # The parent still pays the launch API cost and waits on
+                # the eventual merged kernel; only kernel creation is
+                # deferred to the flush point.
+                cta.outstanding_children += 1
+                self._apply_launch_cost(cta, decision, req)
+                self._buffer_merge(cta, decision, req, now, warp_groups)
+                continue
             child = self._make_child_kernel(kernel, cta, req)
             if self.tracer.enabled:
                 self._trace_decision(kind, decision, req, cta, now, child)
@@ -511,6 +564,9 @@ class GPUSimulator:
                 )
             else:
                 batches.setdefault(decision.warp, []).append(child)
+        for (warp, _mkey), entries in warp_groups.items():
+            merged = self._flush_merge_group(entries, now)
+            batches.setdefault(warp, []).append(merged)
         for batch in batches.values():
             self.launch_unit.submit_batch(batch)
         smx.refresh_demand(cta, now)
@@ -620,6 +676,110 @@ class GPUSimulator:
         return child
 
     # ------------------------------------------------------------------
+    # Merged launches (consolidate / aggregate)
+    # ------------------------------------------------------------------
+    def _buffer_merge(
+        self,
+        cta: CTAInstance,
+        decision: PendingDecision,
+        req: ChildRequest,
+        now: float,
+        warp_groups: Dict[tuple, list],
+    ) -> None:
+        """Buffer one admitted request until its scope's flush point."""
+        scope = self._merge_scope
+        mkey = merge_key(req)
+        entry = (cta, decision, req)
+        if scope == "warp":
+            warp = 0 if self._merge_bug == "cross_warp" else decision.warp
+            warp_groups.setdefault((warp, mkey), []).append(entry)
+            return
+        if scope == "grid":
+            bucket = self._grid_merge.setdefault(cta.kernel, {})
+            bucket.setdefault(mkey, []).append(entry)
+            return
+        # "cta" (consolidate) and "block" (aggregate:block) buffer per
+        # parent CTA.  Consolidate additionally flushes a compat group the
+        # moment it accumulates batch_ctas child CTAs, so the batch size
+        # caps merged-kernel granularity.
+        bucket = self._cta_merge.setdefault(cta, {})
+        entries = bucket.setdefault(mkey, [])
+        entries.append(entry)
+        if self._merge_batch is not None:
+            total = sum(e[2].num_ctas for e in entries)
+            if total >= self._merge_batch:
+                del bucket[mkey]
+                merged = self._flush_merge_group(entries, now)
+                self.launch_unit.submit_batch([merged])
+
+    def _flush_merge_group(self, entries: list, now: float) -> KernelInstance:
+        """Turn one compat group of buffered requests into a merged kernel.
+
+        Shared between engines (the fast core does not override it), so the
+        construction, stats, and trace events are bit-identical by design.
+        """
+        reqs = [entry[2] for entry in entries]
+        leader = entries[0][0]
+        parent = leader.kernel
+        spec = build_merged_spec(
+            reqs,
+            depth=parent.spec.depth + 1,
+            unpadded=self._merge_bug == "unpadded",
+        )
+        stream = self.stream_policy.stream_for(parent.kernel_id, leader.cta_index)
+        child = KernelInstance(
+            next(self._kernel_ids),
+            spec,
+            stream_id=stream,
+            is_child=True,
+            items_per_thread=reqs[0].items_per_thread,
+        )
+        counts: Dict[CTAInstance, int] = {}
+        for parent_cta, _, _ in entries:
+            counts[parent_cta] = counts.get(parent_cta, 0) + 1
+        child.merged_parents = list(counts.items())
+        self._unfinished_kernels += 1
+        self.metrics.advance(now)
+        self.metrics.on_ctas_admitted(child.num_ctas)
+        self.stats.merged_kernels_launched += 1
+        self.stats.child_ctas_launched += child.num_ctas
+        self.stats.launch_times.append(now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                LAUNCH_MERGE,
+                ts=now,
+                child_kernel_id=child.kernel_id,
+                kernel=spec.name,
+                scope=self._merge_scope,
+                num_ctas=child.num_ctas,
+                num_requests=len(reqs),
+                stream=stream,
+                src=[
+                    [c.kernel.kernel_id, c.cta_index, d.warp, d.tid, r.num_ctas]
+                    for c, d, r in entries
+                ],
+            )
+        return child
+
+    def _flush_cta_merge(self, cta: CTAInstance, now: float) -> None:
+        bucket = self._cta_merge.pop(cta, None)
+        if not bucket:
+            return
+        children = [
+            self._flush_merge_group(entries, now) for entries in bucket.values()
+        ]
+        self.launch_unit.submit_batch(children)
+
+    def _flush_grid_merge(self, kernel: KernelInstance, now: float) -> None:
+        bucket = self._grid_merge.pop(kernel, None)
+        if not bucket:
+            return
+        children = [
+            self._flush_merge_group(entries, now) for entries in bucket.values()
+        ]
+        self.launch_unit.submit_batch(children)
+
+    # ------------------------------------------------------------------
     # Completion handling
     # ------------------------------------------------------------------
     def _reschedule_smx(self, smx: SMX) -> None:
@@ -689,6 +849,13 @@ class GPUSimulator:
             exec_time = cta.exec_time
             self.stats.child_cta_exec_times.append(exec_time)
             self.metrics.on_cta_finished(now, exec_time, kernel.items_per_thread)
+        if self._merge_scope is not None:
+            # cta/block scopes flush this CTA's remaining buffers now (the
+            # CTA can issue no further launches); grid scope flushes when
+            # the whole grid has finished computing.
+            self._flush_cta_merge(cta, now)
+            if kernel.computing_ctas == 0:
+                self._flush_grid_merge(kernel, now)
         if cta.outstanding_children == 0:
             self._cta_fully_done(cta)
         else:
@@ -746,7 +913,17 @@ class GPUSimulator:
             kernel.hwq_released = True
             self.gmu.on_kernel_complete(kernel)
         parent_cta = kernel.parent_cta
-        if parent_cta is not None:
+        if kernel.merged_parents is not None:
+            # A merged kernel answers to every contributing parent CTA:
+            # each sees as many completions as requests it contributed.
+            for contributor, count in kernel.merged_parents:
+                contributor.outstanding_children -= count
+                if (
+                    contributor.state is CTAState.WAITING_CHILDREN
+                    and contributor.outstanding_children == 0
+                ):
+                    self._cta_fully_done(contributor)
+        elif parent_cta is not None:
             parent_cta.outstanding_children -= 1
             if (
                 parent_cta.state is CTAState.WAITING_CHILDREN

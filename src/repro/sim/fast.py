@@ -524,11 +524,18 @@ class FastGMU(GMU):
         config: GPUConfig,
         *,
         tracer: Tracer = NULL_TRACER,
+        bind_policy: str = "fcfs",
         lifo_bind: bool = False,
         reverse_rr: bool = False,
+        acs_unguarded: bool = False,
     ):
         super().__init__(
-            config, tracer=tracer, lifo_bind=lifo_bind, reverse_rr=reverse_rr
+            config,
+            tracer=tracer,
+            bind_policy=bind_policy,
+            lifo_bind=lifo_bind,
+            reverse_rr=reverse_rr,
+            acs_unguarded=acs_unguarded,
         )
         self._dispatchable = 0
 

@@ -35,20 +35,33 @@ class GMU:
         config: GPUConfig,
         *,
         tracer: Tracer = NULL_TRACER,
+        bind_policy: str = "fcfs",
         lifo_bind: bool = False,
         reverse_rr: bool = False,
+        acs_unguarded: bool = False,
     ):
         self.config = config
         #: Observability sink; events are stamped with the tracer's bound
         #: clock (the GMU has no clock of its own).
         self.tracer = tracer
+        #: SWQ→HWQ binding order.  ``"fcfs"`` is the paper's hardware
+        #: (strict arrival order); ``"acs"`` reorders binding by a
+        #: dependency-aware priority (ACS-style concurrent-kernel
+        #: scheduling, arXiv:2401.12377) while keeping within-stream FIFO
+        #: semantics untouched.
+        if bind_policy not in ("fcfs", "acs"):
+            raise SimulationError(f"unknown bind_policy {bind_policy!r}")
+        self.bind_policy = bind_policy
         #: TEST-ONLY deliberate bugs, used by the conformance suite to
         #: prove the checker and the golden-trace diff catch ordering
         #: regressions.  ``lifo_bind`` binds the most recently waiting SWQ
         #: first (violating FCFS); ``reverse_rr`` scans bound streams in
-        #: reverse round-robin order.  Never set outside tests.
+        #: reverse round-robin order; ``acs_unguarded`` reverses a stream's
+        #: kernel FIFO when ACS binds it (the same-stream-order guard ACS
+        #: must never drop).  Never set outside tests.
         self.lifo_bind = lifo_bind
         self.reverse_rr = reverse_rr
+        self.acs_unguarded = acs_unguarded
         #: SWQ id -> FIFO of kernels submitted to that stream.
         self._streams: Dict[int, Deque[KernelInstance]] = {}
         #: SWQ ids currently bound to a HWQ (insertion ordered).
@@ -108,19 +121,50 @@ class GMU:
 
     def _bind_waiting_streams(self) -> None:
         while self._wait_order and len(self._bound) < self.config.num_hwq:
-            swq = (
-                self._wait_order.pop()
-                if self.lifo_bind
-                else self._wait_order.popleft()
-            )
+            if self.bind_policy == "acs":
+                swq = self._acs_select()
+            elif self.lifo_bind:
+                swq = self._wait_order.pop()
+            else:
+                swq = self._wait_order.popleft()
             queue = self._streams.get(swq)
             if not queue:
                 continue
+            if self.acs_unguarded and len(queue) > 1:
+                # TEST-ONLY bug: drop ACS's same-stream-order guard by
+                # reversing the stream FIFO at bind time.
+                self._streams[swq] = queue = deque(reversed(queue))
             self._bound[swq] = None
             self._bound_list.append(swq)
             if self.tracer.enabled:
                 self.tracer.emit(HWQ_BIND, swq=swq, bound=len(self._bound))
             self._refresh_head(swq)
+
+    def _acs_select(self) -> int:
+        """Pop the highest-priority waiting SWQ (ACS binding order).
+
+        Deeper head kernels are descendants that suspended ancestors are
+        waiting on (their completion unblocks device-synchronized parents),
+        so they bind first; among equals the stream whose head has the
+        fewest remaining CTAs wins (shortest-job-first drains HWQs
+        fastest); FCFS arrival position breaks remaining ties.  Only
+        cross-stream binding order changes — within a stream the kernel
+        FIFO is untouched.
+        """
+        best_index = 0
+        best_rank = None
+        for index, swq in enumerate(self._wait_order):
+            queue = self._streams.get(swq)
+            if not queue:
+                continue
+            head = queue[0]
+            rank = (head.spec.depth, -head.unfinished_ctas)
+            if best_rank is None or rank > best_rank:
+                best_rank = rank
+                best_index = index
+        swq = self._wait_order[best_index]
+        del self._wait_order[best_index]
+        return swq
 
     def _refresh_head(self, swq: int) -> None:
         queue = self._streams.get(swq)

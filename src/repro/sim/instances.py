@@ -58,6 +58,7 @@ class KernelInstance:
         "via_dtbl",
         "computing_ctas",
         "hwq_released",
+        "merged_parents",
     )
 
     def __init__(
@@ -87,6 +88,10 @@ class KernelInstance:
         self.computing_ctas = self.num_ctas
         #: True once the kernel released its HWQ (completed or suspended).
         self.hwq_released = False
+        #: Merged kernels (consolidate/aggregate) track every contributing
+        #: parent CTA with its request count here; ``parent_cta`` stays
+        #: None because no single CTA owns the kernel.
+        self.merged_parents: Optional[List[tuple]] = None
         self.record = KernelRecord(
             kernel_id=kernel_id,
             name=spec.name,

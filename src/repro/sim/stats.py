@@ -111,6 +111,9 @@ class SimStats:
         self.child_kernels_launched = 0
         self.child_kernels_declined = 0
         self.child_kernels_reused = 0  # Free Launch thread-reuse conversions
+        self.child_kernels_consolidated = 0  # requests buffered by consolidate
+        self.child_kernels_aggregated = 0  # requests buffered by aggregate:<g>
+        self.merged_kernels_launched = 0  # merged kernels actually submitted
         self.child_ctas_launched = 0
         self.launch_times: List[float] = []  # one entry per launched child
 
@@ -264,6 +267,9 @@ class SimStats:
             "child_kernels_launched": self.child_kernels_launched,
             "child_kernels_declined": self.child_kernels_declined,
             "child_kernels_reused": self.child_kernels_reused,
+            "child_kernels_consolidated": self.child_kernels_consolidated,
+            "child_kernels_aggregated": self.child_kernels_aggregated,
+            "merged_kernels_launched": self.merged_kernels_launched,
             "child_ctas_launched": self.child_ctas_launched,
             "launch_times": list(self.launch_times),
             "items_in_parent": self.items_in_parent,
@@ -297,6 +303,15 @@ class SimStats:
         stats.child_kernels_launched = payload["child_kernels_launched"]
         stats.child_kernels_declined = payload["child_kernels_declined"]
         stats.child_kernels_reused = payload["child_kernels_reused"]
+        stats.child_kernels_consolidated = payload.get(
+            "child_kernels_consolidated", 0
+        )
+        stats.child_kernels_aggregated = payload.get(
+            "child_kernels_aggregated", 0
+        )
+        stats.merged_kernels_launched = payload.get(
+            "merged_kernels_launched", 0
+        )
         stats.child_ctas_launched = payload["child_ctas_launched"]
         stats.launch_times = list(payload["launch_times"])
         stats.items_in_parent = payload["items_in_parent"]
@@ -324,6 +339,9 @@ class SimStats:
             "child_kernels_launched": self.child_kernels_launched,
             "child_kernels_declined": self.child_kernels_declined,
             "child_kernels_reused": self.child_kernels_reused,
+            "child_kernels_consolidated": self.child_kernels_consolidated,
+            "child_kernels_aggregated": self.child_kernels_aggregated,
+            "merged_kernels_launched": self.merged_kernels_launched,
             "child_ctas_launched": self.child_ctas_launched,
             "smx_occupancy": self.smx_occupancy,
             "l2_hit_rate": self.l2_hit_rate,

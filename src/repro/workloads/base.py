@@ -144,6 +144,7 @@ def _ensure_loaded() -> None:
         join,
         mandelbrot,
         matmul,
+        selfsim,
         seqalign,
         sssp,
     )

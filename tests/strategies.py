@@ -24,7 +24,9 @@ import numpy as np
 from hypothesis import strategies as st
 
 from repro.core.policies import (
+    AggregatePolicy,
     AlwaysLaunchPolicy,
+    ConsolidatePolicy,
     DTBLPolicy,
     FreeLaunchPolicy,
     NeverLaunchPolicy,
@@ -43,6 +45,10 @@ POLICIES = [
     SpawnPolicy,
     lambda: DTBLPolicy(0),
     FreeLaunchPolicy,
+    lambda: ConsolidatePolicy(0, batch_ctas=2),
+    lambda: AggregatePolicy(0, "warp"),
+    lambda: AggregatePolicy(0, "block"),
+    lambda: AggregatePolicy(0, "grid"),
 ]
 
 

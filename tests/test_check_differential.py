@@ -100,11 +100,50 @@ def test_fixed_app_differential_is_clean():
     assert mismatch is None
 
 
+@pytest.mark.parametrize("engine", ["default", "fast"])
+@pytest.mark.parametrize(
+    "policy_idx", range(6, len(POLICIES)), ids=lambda i: POLICIES[i]().name
+)
+def test_fixed_app_merge_policy_differential(engine, policy_idx):
+    """Consolidate/aggregate flushes are identical through the optimized,
+    fast, and naive-reference engines on a fixed DP app."""
+    from repro.workloads import get_benchmark
+
+    app = get_benchmark("MM-small").dp(1)
+    mismatch = run_differential(
+        app, policy_factory=POLICIES[policy_idx], engine=engine
+    )
+    assert mismatch is None, str(mismatch)
+
+
+@pytest.mark.parametrize("engine", ["default", "fast"])
+def test_fixed_app_acs_differential(engine):
+    """ACS binding order is identical through all three engines under
+    HWQ contention (2 HWQs force the wait queue to fill)."""
+    from repro.core.policies import StaticThresholdPolicy
+    from repro.workloads import get_benchmark
+
+    bench = get_benchmark("MM-small")
+    mismatch = run_differential(
+        bench.dp(1),
+        config=GPUConfig(num_hwq=2),
+        policy_factory=lambda: StaticThresholdPolicy(
+            bench.default_threshold
+        ),
+        sim_kwargs={"bind_policy": "acs"},
+        engine=engine,
+    )
+    assert mismatch is None, str(mismatch)
+
+
 # ---------------------------------------------------------------------------
 # Slow hypothesis sweeps
 # ---------------------------------------------------------------------------
 @pytest.mark.slow
-@given(app=micro_apps(), policy_idx=st.integers(min_value=0, max_value=5))
+@given(
+    app=micro_apps(),
+    policy_idx=st.integers(min_value=0, max_value=len(POLICIES) - 1),
+)
 @settings(max_examples=40, deadline=None)
 def test_differential_micro_apps(app, policy_idx):
     mismatch = run_differential(

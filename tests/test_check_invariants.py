@@ -27,7 +27,9 @@ from repro.obs.tracer import (
     HWQ_RELEASE,
     KERNEL_ARRIVAL,
     KERNEL_COMPLETE,
+    LAUNCH_MERGE,
 )
+from repro.runtime.streams import PerParentCTAStream
 from repro.sim.config import GPUConfig
 from repro.sim.engine import GPUSimulator
 from repro.sim.gmu import GMU
@@ -35,14 +37,31 @@ from repro.sim.smx import SMX
 from repro.workloads import get_benchmark
 
 
-def _checked_run(benchmark, scheme, *, config=None, sim_cls=GPUSimulator):
+def _checked_run(
+    benchmark,
+    scheme,
+    *,
+    config=None,
+    sim_cls=GPUSimulator,
+    stream_policy=None,
+    **sim_kwargs,
+):
     """Simulate one benchmark/scheme cell with a checker attached."""
     config = config or GPUConfig()
     bench = get_benchmark(benchmark)
-    policy = make_policy(SchemeSpec.parse(scheme), bench)
+    spec = SchemeSpec.parse(scheme)
+    policy = make_policy(spec, bench)
     app = bench.flat(1) if scheme == "flat" else bench.dp(1)
-    checker = ConformanceChecker(config)
-    sim = sim_cls(config=config, policy=policy, tracer=checker)
+    checker = ConformanceChecker(config, scheme=scheme)
+    if spec.bind_policy != "fcfs":
+        sim_kwargs.setdefault("bind_policy", spec.bind_policy)
+    sim = sim_cls(
+        config=config,
+        policy=policy,
+        stream_policy=stream_policy,
+        tracer=checker,
+        **sim_kwargs,
+    )
     result = sim.run(app)
     return checker, result
 
@@ -215,6 +234,86 @@ class TestSyntheticViolations:
         checker.finalize()
         assert any("never completed" in v.message for v in checker.violations)
 
+    @staticmethod
+    def _merge_event(**overrides):
+        """A well-formed two-constituent block-scope merge event."""
+        args = dict(
+            child_kernel_id=100,
+            kernel="c+merge2",
+            scope="block",
+            num_ctas=3,
+            num_requests=2,
+            stream=5,
+            src=[[1, 0, 0, 3, 1], [1, 0, 1, 40, 2]],
+        )
+        args.update(overrides)
+        return args
+
+    def test_merge_cta_conservation(self):
+        checker = self._checker()
+        checker.emit(LAUNCH_MERGE, ts=0.0, **self._merge_event(num_ctas=4))
+        assert any(
+            v.invariant == "merge" and "conservation" in v.message
+            for v in checker.violations
+        )
+
+    def test_merge_scope_mixing(self):
+        checker = self._checker()
+        checker.emit(
+            LAUNCH_MERGE,
+            ts=0.0,
+            **self._merge_event(src=[[1, 0, 0, 3, 1], [1, 1, 0, 3, 2]]),
+        )
+        assert any(
+            v.invariant == "merge" and "distinct" in v.message
+            for v in checker.violations
+        )
+
+    def test_merge_scope_must_match_scheme(self):
+        checker = ConformanceChecker(GPUConfig(), scheme="aggregate:grid")
+        checker.emit(LAUNCH_MERGE, ts=0.0, **self._merge_event())
+        assert any(
+            v.invariant == "merge" and "expected scope" in v.message
+            for v in checker.violations
+        )
+
+    def test_merge_batch_bound(self):
+        checker = ConformanceChecker(GPUConfig(), scheme="consolidate:2")
+        checker.emit(
+            LAUNCH_MERGE,
+            ts=0.0,
+            **self._merge_event(
+                scope="cta",
+                num_ctas=5,
+                num_requests=3,
+                src=[[1, 0, 0, 3, 1], [1, 0, 1, 40, 2], [1, 0, 1, 41, 2]],
+            ),
+        )
+        assert any(
+            v.invariant == "merge" and "batch bound" in v.message
+            for v in checker.violations
+        )
+
+    def test_merge_arrival_cta_count_cross_check(self):
+        checker = self._checker()
+        checker.emit(LAUNCH_MERGE, ts=0.0, **self._merge_event())
+        checker.emit(
+            KERNEL_ARRIVAL, ts=1.0, kernel_id=100, num_ctas=7, stream=5
+        )
+        assert any(
+            v.invariant == "merge" and "promised" in v.message
+            for v in checker.violations
+        )
+
+    def test_merge_never_arriving_flagged_at_finalize(self):
+        checker = self._checker()
+        checker.emit(LAUNCH_MERGE, ts=0.0, **self._merge_event())
+        checker.finalize()
+        assert any(
+            v.invariant == "merge" and "never arrived" in v.message
+            for v in checker.violations
+        )
+
 
 class TestSmxSelfAudit:
     def test_fresh_smx_is_clean(self):
@@ -280,5 +379,106 @@ class TestSeededBugs:
         divergence = diff_traces(
             canonical_events(clean.events()),
             canonical_events(buggy.events()),
+        )
+        assert divergence is not None
+
+
+class TestSchemeZooCleanRuns:
+    """Every new scheme passes its own per-scheme invariants end-to-end."""
+
+    @pytest.mark.parametrize(
+        "scheme",
+        ["consolidate", "consolidate:4", "aggregate:warp",
+         "aggregate:block", "aggregate:grid", "acs"],
+    )
+    def test_zero_violations(self, scheme):
+        checker, result = _checked_run("BFS-citation", scheme)
+        checker.finalize(result)
+        assert checker.violations == []
+        assert checker.events_checked > 0
+
+    @pytest.mark.parametrize("scheme", ["consolidate", "aggregate:block"])
+    def test_merge_events_present(self, scheme):
+        checker, result = _checked_run("BFS-citation", scheme)
+        checker.finalize(result)
+        assert result.stats.merged_kernels_launched > 0
+        assert any(e.kind == LAUNCH_MERGE for e in checker.events())
+
+
+class TestSchemeZooSeededBugs:
+    """Each scheme-zoo invariant is proven live by a seeded engine bug:
+    breaking the behaviour it guards must produce violations, and the
+    matching clean run must not."""
+
+    def test_unpadded_merge_breaks_cta_conservation(self):
+        clean, clean_result = _checked_run("BFS-citation", "consolidate")
+        clean.finalize(clean_result)
+        assert clean.violations == []
+
+        buggy, buggy_result = _checked_run(
+            "BFS-citation", "consolidate", merge_bug="unpadded"
+        )
+        buggy.finalize(buggy_result)
+        merge = [v for v in buggy.violations if v.invariant == "merge"]
+        assert merge, "dropping the zero-pad must violate CTA conservation"
+        assert any("conservation" in v.message for v in merge)
+
+    def test_cross_warp_merge_breaks_scope_bound(self):
+        clean, clean_result = _checked_run("BFS-citation", "aggregate:warp")
+        clean.finalize(clean_result)
+        assert clean.violations == []
+
+        buggy, buggy_result = _checked_run(
+            "BFS-citation", "aggregate:warp", merge_bug="cross_warp"
+        )
+        buggy.finalize(buggy_result)
+        merge = [v for v in buggy.violations if v.invariant == "merge"]
+        assert merge, "collapsing warp ids must violate the scope bound"
+        assert any("contexts" in v.message for v in merge)
+
+    @staticmethod
+    def _acs_trace(**gmu_flags):
+        """BFS-citation / acs with 2 HWQs and per-parent-CTA streams, so
+        multiple kernels share a stream and streams queue for binding."""
+
+        class Sim(GPUSimulator):
+            gmu_factory = functools.partial(
+                GMU, bind_policy="acs", **gmu_flags
+            )
+
+        return _checked_run(
+            "BFS-citation", "acs",
+            config=GPUConfig(num_hwq=2),
+            stream_policy=PerParentCTAStream(),
+            sim_cls=Sim,
+        )
+
+    def test_acs_unguarded_breaks_same_stream_order(self):
+        clean, clean_result = self._acs_trace()
+        clean.finalize(clean_result)
+        assert clean.violations == []
+
+        buggy, buggy_result = self._acs_trace(acs_unguarded=True)
+        buggy.finalize(buggy_result)
+        # Reordering *within* a stream is exactly what ACS must never do;
+        # the same-stream FIFO invariant reports under "fcfs".
+        assert any(v.invariant == "fcfs" for v in buggy.violations)
+
+    def test_acs_reorders_but_clean_golden_differs_from_fcfs(self):
+        """ACS genuinely reorders cross-stream binds (it is not a no-op):
+        with the identical admission policy (baseline-dp shares ACS's
+        StaticThreshold) and per-child streams queueing on 2 HWQs, its
+        trace diverges from the FCFS trace."""
+        acs, acs_result = _checked_run(
+            "BFS-citation", "acs", config=GPUConfig(num_hwq=2)
+        )
+        acs.finalize(acs_result)
+        assert acs.violations == []
+        fcfs, _ = _checked_run(
+            "BFS-citation", "baseline-dp", config=GPUConfig(num_hwq=2)
+        )
+        divergence = diff_traces(
+            canonical_events(fcfs.events()),
+            canonical_events(acs.events()),
         )
         assert divergence is not None

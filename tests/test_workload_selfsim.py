@@ -1,0 +1,120 @@
+"""Structure and determinism tests for the self-similar workloads.
+
+The cascade generator (``repro.workloads.selfsim``) must be reproducible
+(same seed -> bit-identical masses), genuinely random across seeds,
+mass-conserving up to integer flooring, and skew-ordered: the sparse
+flavor's Beta(0.15, 0.15) splitting law concentrates far more mass in its
+hottest segments than the dense flavor's Beta(0.45, 0.45).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import get_benchmark, selfsim
+from repro.workloads.selfsim import MIN_OFFLOAD, cascade_items
+
+
+class TestCascade:
+    def test_segment_count_is_two_to_the_levels(self):
+        items = cascade_items(10, 100_000, 0.5, 1)
+        assert items.size == 2**10
+
+    def test_mass_conservation_up_to_flooring(self):
+        """int truncation loses < 1 item/segment; the floor adds <= 1."""
+        total = 300_000
+        items = cascade_items(selfsim.LEVELS, total, 0.45, 1)
+        slack = items.size  # one item of slack per segment, both ways
+        assert total - slack <= int(items.sum()) <= total + slack
+
+    def test_every_segment_does_work(self):
+        items = cascade_items(selfsim.LEVELS, 150_000, 0.15, 1)
+        assert int(items.min()) >= 1
+
+    def test_same_seed_is_deterministic(self):
+        a = np.array(cascade_items(selfsim.LEVELS, 300_000, 0.45, 7))
+        b = np.array(cascade_items(selfsim.LEVELS, 300_000, 0.45, 7))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = cascade_items(selfsim.LEVELS, 300_000, 0.45, 1)
+        b = cascade_items(selfsim.LEVELS, 300_000, 0.45, 2)
+        assert not np.array_equal(a, b)
+
+    def test_sparse_is_spikier_than_dense(self):
+        dense = cascade_items(selfsim.LEVELS, 300_000, 0.45, 1)
+        sparse = cascade_items(selfsim.LEVELS, 300_000, 0.15, 1)
+        assert sparse.max() / sparse.mean() > dense.max() / dense.mean()
+        # The sparse top decile owns a larger share of total mass.
+        def top_decile_share(items):
+            k = items.size // 10
+            return np.sort(items)[-k:].sum() / items.sum()
+        assert top_decile_share(sparse) > top_decile_share(dense)
+
+    def test_self_similarity_across_scales(self):
+        """Zooming into one half shows the same splitting law: subtree
+        skew is of the same order as whole-domain skew."""
+        items = cascade_items(selfsim.LEVELS, 300_000, 0.3, 1)
+        half = items[: items.size // 2]
+        whole_cv = items.std() / items.mean()
+        half_cv = half.std() / half.mean()
+        assert half_cv > 0.25 * whole_cv
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            cascade_items(0, 100, 0.5, 1)
+        with pytest.raises(ValueError):
+            cascade_items(4, 0, 0.5, 1)
+        with pytest.raises(ValueError):
+            cascade_items(4, 100, 0.0, 1)
+        with pytest.raises(ValueError):
+            selfsim.build("nope")
+
+
+class TestSelfSimApps:
+    @pytest.mark.parametrize("flavor", ["dense", "sparse"])
+    def test_flat_and_dp_agree_on_total_work(self, flavor):
+        flat = selfsim.build(flavor, variant="flat", seed=1)
+        dp = selfsim.build(flavor, variant="dp", seed=1)
+        assert flat.flat_items == dp.flat_items
+
+    @pytest.mark.parametrize("flavor", ["dense", "sparse"])
+    def test_heavy_segments_become_launch_sites(self, flavor):
+        items = cascade_items(
+            selfsim.LEVELS,
+            300_000 if flavor == "dense" else 150_000,
+            0.45 if flavor == "dense" else 0.15,
+            1,
+        )
+        app = selfsim.build(flavor, variant="dp", seed=1)
+        sites = sum(k.num_child_requests() for k in app.kernels)
+        assert sites == int((items > MIN_OFFLOAD).sum())
+
+    def test_request_items_match_segment_mass(self):
+        items = cascade_items(selfsim.LEVELS, 150_000, 0.15, 1)
+        app = selfsim.build("sparse", variant="dp", seed=1)
+        (spec,) = app.kernels
+        for tid, req in spec.child_requests.items():
+            for r in req if isinstance(req, (list, tuple)) else [req]:
+                assert r.items == int(items[tid])
+
+    def test_dense_has_more_sites_than_sparse(self):
+        dense = selfsim.build("dense", variant="dp", seed=1)
+        sparse = selfsim.build("sparse", variant="dp", seed=1)
+        count = lambda app: sum(k.num_child_requests() for k in app.kernels)
+        assert count(dense) > count(sparse)
+
+    def test_registered_benchmarks_build_both_variants(self):
+        for name in ("SelfSim-dense", "SelfSim-sparse"):
+            bench = get_benchmark(name)
+            assert bench.flat(1).flat_items == bench.dp(1).flat_items
+            assert bench.default_threshold == MIN_OFFLOAD
+
+    def test_cta_threads_override_propagates(self):
+        app = get_benchmark("SelfSim-dense").dp(1, cta_threads=32)
+        (spec,) = app.kernels
+        reqs = [
+            r
+            for req in spec.child_requests.values()
+            for r in (req if isinstance(req, (list, tuple)) else [req])
+        ]
+        assert reqs and all(r.cta_threads == 32 for r in reqs)
