@@ -65,6 +65,7 @@ from repro.harness.sweep import SweepResult, offline_search, threshold_sweep
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.service import (
+    AutoTuner,
     FleetConfig,
     FleetOverloaded,
     FleetStats,
@@ -217,6 +218,7 @@ def serve(
     inline_threshold_ms: float = 0.0,
     max_batch: int = 8,
     max_queue: Optional[int] = None,
+    autotune: bool = False,
     shards: int = 1,
     store_url: Optional[str] = None,
     runner: Optional[Runner] = None,
@@ -238,6 +240,9 @@ def serve(
     rejected with :class:`ServiceOverloaded` (the predicted-delay
     evidence is attached as ``.decision``); requests predicted cheaper
     than ``inline_threshold_ms`` run directly on the event-loop thread.
+    ``autotune=True`` turns on the online successive-halving parameter
+    search (:mod:`repro.service.autotune`): tunable requests run the
+    tuner's current arm and every completion feeds the search.
 
     ``shards > 1`` returns a :class:`ServiceFleet` instead — the same
     awaitable surface, but requests consistent-hash onto ``shards``
@@ -252,6 +257,7 @@ def serve(
         inline_threshold_ms=inline_threshold_ms,
         max_batch=max_batch,
         max_queue=max_queue,
+        autotune=autotune,
     )
     if shards > 1:
         if runner is not None or store is not None or cache_dir is not None:
@@ -319,6 +325,7 @@ __all__ = [
     "FleetConfig",
     "FleetStats",
     "fleet_runners",
+    "AutoTuner",
     "TrafficRequest",
     "generate_traffic",
     # telemetry & load testing

@@ -98,6 +98,7 @@ from repro.errors import ReproError
 from repro.harness.report import format_table
 from repro.harness.runner import RunConfig, Runner
 from repro.harness.sweep import threshold_sweep
+from repro.obs.export import write_json_atomic
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser, *, what: str) -> None:
@@ -330,6 +331,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "requests (default: 20)")
     serve.add_argument("--traffic-seed", type=int, default=1,
                        help="seed for --synthetic traffic (default: 1)")
+    serve.add_argument("--gap-ms", type=float, default=0.0, metavar="MS",
+                       help="mean Poisson inter-arrival gap for --synthetic "
+                            "traffic (default: 0 = instantaneous burst); "
+                            "spacing arrivals lets online feedback loops "
+                            "like --autotune learn between requests")
+    serve.add_argument("--autotune", action="store_true",
+                       help="tune launch parameters online: successive "
+                            "halving over each (benchmark, scheme-family) "
+                            "sweep grid, warm-started from the store and "
+                            "fed by live completions")
+    serve.add_argument("--autotune-pulls", type=int, default=1, metavar="N",
+                       help="observations per arm per halving round "
+                            "(default: 1)")
     serve.add_argument("--shards", type=int, default=1, metavar="N",
                        help="shard the service N ways behind a consistent-"
                             "hash front door: each shard runs its own "
@@ -403,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "record throughput + shed rate (default: off)")
     perf.add_argument("--traffic-seed", type=int, default=1,
                       help="seed for --soak traffic (default: 1)")
+    perf.add_argument("--autotune", action="store_true",
+                      help="run the --soak with online autotuning enabled; "
+                           "records the service-soak@autotuned series so "
+                           "the closed-loop trajectory is tracked apart "
+                           "from static-scheme baselines")
     perf.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
                       help="soak shed deadline, as for serve (default: never)")
     perf.add_argument("--history", default=None, metavar="FILE",
@@ -1035,7 +1054,17 @@ def cmd_serve(args, out) -> int:
                 file=sys.stderr,
             )
             return 2
-        requests = generate_traffic(args.synthetic, seed=args.traffic_seed)
+        if args.gap_ms < 0:
+            print(
+                f"error: --gap-ms must be >= 0, got {args.gap_ms}",
+                file=sys.stderr,
+            )
+            return 2
+        requests = generate_traffic(
+            args.synthetic,
+            seed=args.traffic_seed,
+            mean_gap_s=args.gap_ms / 1000.0,
+        )
         source = f"synthetic (seed {args.traffic_seed})"
     if not requests:
         print("error: no requests to serve", file=sys.stderr)
@@ -1047,6 +1076,9 @@ def cmd_serve(args, out) -> int:
         max_batch=args.max_batch,
         max_queue=args.max_queue,
         engine=args.engine,
+        autotune=args.autotune,
+        autotune_pulls=args.autotune_pulls,
+        autotune_seed=args.traffic_seed,
     )
     use_store, url = _resolve_store_url(args, default=True)
     faults = FaultPlan.from_env()
@@ -1111,6 +1143,7 @@ def cmd_serve(args, out) -> int:
     if args.stats:
         payload = stats.to_dict()
         model = payload.pop("model")
+        autotune = payload.pop("autotune", None)
         latency = payload.pop("latency")
         fleet_info = payload.pop("fleet", None)
         per_shard = payload.pop("per_shard", None)
@@ -1179,10 +1212,29 @@ def cmd_serve(args, out) -> int:
                 ),
                 file=out,
             )
+        if autotune:
+            print(file=out)
+            print(
+                format_table(
+                    ["pair", "incumbent", "alive", "round", "pulls",
+                     "converged"],
+                    [
+                        (
+                            pair,
+                            snap["incumbent"] or "-",
+                            f"{snap['arms_alive']}/{snap['arms']}",
+                            f"{snap['round']}/{snap['rounds_total']}",
+                            snap["pulls"],
+                            "yes" if snap["converged"] else "no",
+                        )
+                        for pair, snap in sorted(autotune.items())
+                    ],
+                    title="autotuner (successive halving)",
+                ),
+                file=out,
+            )
     if args.stats_json:
-        with open(args.stats_json, "w", encoding="utf-8") as handle:
-            json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_json_atomic(stats.to_dict(), args.stats_json)
         print(f"wrote {args.stats_json}", file=sys.stderr)
     if stats.lost:
         print(f"error: {stats.lost} submissions lost", file=sys.stderr)
@@ -1278,9 +1330,7 @@ def cmd_replay(args, out) -> int:
     # Evidence before judgement: the report JSON and any re-recorded
     # ledger are written before budgets can fail the run.
     if args.stats_json:
-        with open(args.stats_json, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_json_atomic(report.to_dict(), args.stats_json)
         print(f"wrote {args.stats_json}", file=sys.stderr)
     if args.record and report.ledger is not None:
         path = report.ledger.write(args.record)
@@ -1373,29 +1423,56 @@ def cmd_perf(args, out) -> int:
         from repro.harness.runner import Runner as _Runner
 
         requests = generate_traffic(args.soak, seed=args.traffic_seed)
-        config = ServiceConfig(jobs=2, deadline_ms=args.deadline_ms)
+        config = ServiceConfig(
+            jobs=2,
+            deadline_ms=args.deadline_ms,
+            autotune=args.autotune,
+            autotune_seed=args.traffic_seed,
+        )
 
         async def soak():
             # Memory-only runner: a warm disk store would turn the soak
             # into a pure cache read and flatter the throughput number.
             service = SimulationService(_Runner(), config=config)
-            start = _time.perf_counter()
             async with service:
+                if config.autotune:
+                    # Converged-service soak: an un-timed sequential
+                    # warm-up pass first (each completion feeds the
+                    # tuner), so the timed pass below measures the
+                    # closed loop's steady state — incumbent arms over
+                    # a warm cache — not its exploration phase.
+                    for request in requests:
+                        job = await service.submit(request.config())
+                        await job.result()
+                before = service.stats()
+                start = _time.perf_counter()
                 await drive_service(service, requests)
-            return _time.perf_counter() - start, service.stats()
+                seconds = _time.perf_counter() - start
+            return seconds, before, service.stats()
 
-        seconds, stats = asyncio.run(soak())
+        seconds, before, stats = asyncio.run(soak())
+        details = {
+            "coalesced": stats.coalesced - before.coalesced,
+            "cache_hits": stats.cache_hits - before.cache_hits,
+            "batches": stats.batches - before.batches,
+        }
+        # A label suffix makes the closed-loop soak its own history
+        # series (like @fast for the engine), so `repro perf` trends and
+        # gates it separately from the static-scheme soak.
+        label = "service-soak@autotuned" if args.autotune else "service-soak"
+        if args.autotune:
+            details["autotuned"] = stats.autotuned
+            details["converged_pairs"] = sum(
+                1 for snap in stats.autotune.values() if snap["converged"]
+            )
         fresh.append(
             soak_record(
-                requests=stats.submitted,
+                requests=stats.submitted - before.submitted,
                 seconds=seconds,
-                shed=stats.shed,
+                shed=stats.shed - before.shed,
                 at=at,
-                details={
-                    "coalesced": stats.coalesced,
-                    "cache_hits": stats.cache_hits,
-                    "batches": stats.batches,
-                },
+                label=label,
+                details=details,
             )
         )
 
@@ -1414,9 +1491,7 @@ def cmd_perf(args, out) -> int:
             "records": [record.to_dict() for record in fresh],
             "verdicts": verdicts,
         }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_json_atomic(payload, args.json)
         print(f"wrote {args.json}", file=sys.stderr)
 
     rows = [

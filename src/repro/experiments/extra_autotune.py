@@ -1,0 +1,125 @@
+"""Extension experiment (beyond the paper): online autotuning convergence.
+
+The paper tunes its launch threshold *offline*: Offline-Search sweeps the
+grid once per benchmark and bakes the winner in.  The serving layer closes
+that loop online — :mod:`repro.service.autotune` runs successive halving
+over the same sweep grid while requests stream in.  This experiment checks
+the closed loop lands where the open loop does: drive the tuner to
+convergence one pull at a time (exactly what the service does per
+completion), then run Offline-Search over the same grid and compare.
+
+Because both sides minimise simulated makespan — a deterministic quantity
+— the converged online arm must *equal* the Offline-Search winner, and the
+speedup ratio must be 1.0, well inside the 5% acceptance band.  The table
+also reports SPAWN (the paper's static scheme at default threshold) to show
+what tuning buys over not tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentResult, ensure_runner
+from repro.harness.runner import RunConfig, Runner, geometric_mean
+from repro.harness.sweep import offline_search
+from repro.service.autotune import THRESHOLD_FAMILY, AutoTuner, arm_grid
+
+#: Benchmarks with distinct sweep grids (7 and 5 threshold arms).
+AUTOTUNE_BENCHMARKS = ("GC-citation", "MM-small")
+
+#: Safety cap on tuner pulls, as a multiple of the grid size.  Successive
+#: halving needs sum of per-round quotas ~ 2·arms·log2(arms) pulls in the
+#: worst case; 4× the grid per round bound is generous.
+PULL_CAP_FACTOR = 8
+
+
+def run(
+    runner: Optional[Runner] = None,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    runner = ensure_runner(runner)
+    rows = []
+    online_col, offline_col, spawn_col, ratio_col = [], [], [], []
+    for name in benchmarks or AUTOTUNE_BENCHMARKS:
+        flat = runner.run(RunConfig(benchmark=name, scheme="flat", seed=seed))
+        arms = arm_grid(name, THRESHOLD_FAMILY)
+
+        # Online loop first: propose → run → observe, one completion at a
+        # time, exactly the cycle `repro serve --autotune` drives.
+        tuner = AutoTuner(runner=runner, seed=seed)
+        template = RunConfig(benchmark=name, scheme="spawn", seed=seed)
+        halving = tuner.tuner_for(name, THRESHOLD_FAMILY, template=template)
+        pulls = 0
+        cap = PULL_CAP_FACTOR * len(arms)
+        while not halving.converged and pulls < cap:
+            config = tuner.rewrite(template)
+            result = runner.run(config)
+            tuner.observe(config, makespan=result.makespan)
+            pulls += 1
+        (online_arm, online_cost) = halving.incumbent()
+
+        # Offline-Search over the same grid (the arm runs are now cached,
+        # so this re-prices rather than re-simulates).
+        offline_best, offline_res = offline_search(runner, name, seed=seed)
+
+        spawn = runner.run(RunConfig(benchmark=name, scheme="spawn", seed=seed))
+        online_speedup = flat.makespan / online_cost
+        offline_speedup = flat.makespan / offline_res.makespan
+        spawn_speedup = flat.makespan / spawn.makespan
+        ratio = online_speedup / offline_speedup
+        online_col.append(online_speedup)
+        offline_col.append(offline_speedup)
+        spawn_col.append(spawn_speedup)
+        ratio_col.append(ratio)
+        rows.append(
+            (
+                name,
+                len(arms),
+                pulls,
+                online_arm,
+                f"threshold:{offline_best}",
+                round(online_speedup, 3),
+                round(offline_speedup, 3),
+                round(spawn_speedup, 3),
+                round(ratio, 4),
+            )
+        )
+    rows.append(
+        (
+            "GEOMEAN",
+            "",
+            "",
+            "",
+            "",
+            round(geometric_mean(online_col), 3),
+            round(geometric_mean(offline_col), 3),
+            round(geometric_mean(spawn_col), 3),
+            round(geometric_mean(ratio_col), 4),
+        )
+    )
+    converged = all(row[3] == row[4] for row in rows[:-1])
+    return ExperimentResult(
+        experiment="extra-autotune-convergence",
+        title="Online successive halving vs. Offline-Search vs. SPAWN",
+        headers=[
+            "benchmark",
+            "arms",
+            "pulls",
+            "online arm",
+            "offline best",
+            "online x",
+            "offline x",
+            "SPAWN x",
+            "online/offline",
+        ],
+        rows=rows,
+        notes=(
+            "extension beyond the paper: the service's online tuner "
+            + ("matched" if converged else "MISSED")
+            + " the Offline-Search winner on every benchmark; both "
+            "minimise deterministic simulated makespan, so the speedup "
+            "ratio is exact, not merely within the 5% band"
+        ),
+        extras={"converged": converged},
+    )

@@ -33,6 +33,9 @@ from __future__ import annotations
 
 import heapq
 import json
+import os
+import tempfile
+from pathlib import Path
 from typing import IO, Dict, Iterable, List, Tuple, Union
 
 from repro.obs.tracer import (
@@ -85,6 +88,35 @@ def _open_for_write(dest: PathOrFile):
     if isinstance(dest, str):
         return open(dest, "w", encoding="utf-8"), True
     return dest, False
+
+
+def write_json_atomic(payload: object, path) -> Path:
+    """Serialize ``payload`` to ``path`` via temp file + ``os.replace``.
+
+    The store's directory-backend idiom applied to report files
+    (``repro serve/replay --stats-json``, ``repro perf --json``): the
+    JSON is fully serialized before the disk is touched, written to a
+    temp file in the destination directory, and renamed into place — a
+    reader (or a crash mid-write) can never observe a truncated file.
+    Returns the destination path.
+    """
+    path = Path(path)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp",
+        dir=path.parent if str(path.parent) else ".",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 # ---------------------------------------------------------------------------

@@ -19,7 +19,10 @@ to the service itself), and batches admitted jobs into
   ``repro replay``);
 * :mod:`repro.service.fleet` — consistent-hash sharding: N services
   behind one front door (``repro serve --shards N``), per-shard
-  admission, fleet-wide coalescing/dedup and ledger invariants.
+  admission, fleet-wide coalescing/dedup and ledger invariants;
+* :mod:`repro.service.autotune` — online successive halving over the
+  Offline-Search sweep grids (``repro serve --autotune``), warm-started
+  from the shared store and fed by live completions.
 """
 
 from repro.errors import (
@@ -52,6 +55,13 @@ from repro.service.admission import (
     CostModel,
     WindowedEWMA,
 )
+from repro.service.autotune import (
+    AutoTuner,
+    SuccessiveHalvingTuner,
+    arm_grid,
+    family_of,
+    merge_autotune_snapshots,
+)
 from repro.service.jobs import RequestLike, ServiceJob, ServiceStats
 from repro.service.scheduler import BatchScheduler
 from repro.service.service import ServiceConfig, SimulationService
@@ -69,6 +79,7 @@ __all__ = [
     "SHED",
     "AdmissionController",
     "AdmissionDecision",
+    "AutoTuner",
     "BatchScheduler",
     "ConsistentHashRing",
     "CostModel",
@@ -89,12 +100,16 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceStats",
     "SimulationService",
+    "SuccessiveHalvingTuner",
     "TrafficRequest",
     "WindowedEWMA",
+    "arm_grid",
     "drive_service",
     "dump_requests",
+    "family_of",
     "fleet_runners",
     "generate_traffic",
     "load_requests",
+    "merge_autotune_snapshots",
     "replay_ledger",
 ]

@@ -51,6 +51,7 @@ from repro.harness.runner import Runner
 from repro.harness.store import open_store
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.tracer import Tracer
+from repro.service.autotune import merge_autotune_snapshots
 from repro.service.jobs import RequestLike, ServiceJob, ServiceStats, as_run_config
 from repro.service.service import ServiceConfig, SimulationService
 from repro.sim.config import GPUConfig
@@ -122,7 +123,12 @@ class FleetConfig:
 
     ``service`` is applied to every shard; ``failover`` lets a shed
     request try the next shards in ring order before the front door
-    gives up (disable it to measure pure per-shard admission).
+    gives up (disable it to measure pure per-shard admission).  When
+    ``service.autotune`` is set, every shard runs its own
+    :class:`~repro.service.autotune.AutoTuner` over its own traffic —
+    but arms any shard has already persisted to the shared store
+    backend warm-start the others, so exploration is shared without
+    any shard-to-shard coordination.
     """
 
     shards: int = 2
@@ -144,7 +150,7 @@ def _sum_service_stats(parts: Iterable[ServiceStats]) -> ServiceStats:
     total = ServiceStats()
     numeric = (
         "submitted", "completed", "failed", "shed", "in_flight",
-        "coalesced", "cache_hits", "admitted", "inline",
+        "coalesced", "cache_hits", "admitted", "inline", "autotuned",
         "batches", "pool_runs", "pool_resumed", "retries",
         "timeouts", "worker_crashes", "quarantined",
     )
@@ -395,6 +401,11 @@ class ServiceFleet:
         # any shard's view is already the merged fleet view.
         if shards:
             aggregate.latency = shards[0].latency
+        # Each shard tunes its own arm set (its traffic mix is its own);
+        # the aggregate reports each pair's furthest-along tuner.
+        aggregate.autotune = merge_autotune_snapshots(
+            [part.autotune for part in shards]
+        )
         return FleetStats(
             shards=shards,
             aggregate=aggregate,

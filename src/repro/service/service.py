@@ -88,6 +88,7 @@ from repro.service.admission import (
     AdmissionController,
     CostModel,
 )
+from repro.service.autotune import AutoTuner
 from repro.service.jobs import (
     CACHED,
     DONE,
@@ -127,10 +128,17 @@ class ServiceConfig:
     ewma_alpha: float = 0.3  # cost model responsiveness
     ewma_window: int = 32  # cost model observation window
     engine: str = "default"  # simulation core applied to plain requests
+    autotune: bool = False  # online successive halving over the sweep grids
+    autotune_pulls: int = 1  # observations per arm per halving round
+    autotune_seed: int = 0  # exploration-order seed (see autotune module)
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise HarnessError(f"jobs must be >= 1, got {self.jobs}")
+        if self.autotune_pulls < 1:
+            raise HarnessError(
+                f"autotune_pulls must be >= 1, got {self.autotune_pulls}"
+            )
         Runner._simulator_class(self.engine)  # validate at the door
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise HarnessError(
@@ -203,6 +211,18 @@ class SimulationService:
             inline_threshold_s=self.config.inline_threshold_ms / 1000.0,
             max_queue=self.config.max_queue,
         )
+        #: Online parameter search (None unless ``config.autotune``).  It
+        #: shares the service's runner, so warm starts read the same
+        #: store backend that batch results persist into.
+        self.autotuner: Optional[AutoTuner] = None
+        if self.config.autotune:
+            self.autotuner = AutoTuner(
+                runner=self.runner,
+                pulls_per_round=self.config.autotune_pulls,
+                seed=self.config.autotune_seed,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
         self._parallel = ParallelRunner(
             self.runner, policy=policy, faults=faults, tracer=tracer
         )
@@ -273,6 +293,15 @@ class SimulationService:
         # Validate eagerly so one bad request cannot poison a batch.
         get_benchmark(config.benchmark)
         sch.SchemeSpec.parse(config.scheme)
+        if self.autotuner is not None:
+            # Tunable requests run the tuner's current arm.  Rewriting
+            # before coalesce/cache means identical proposals dedup onto
+            # one simulation — repeat pulls of an arm are free.
+            tuned = self.autotuner.rewrite(config)
+            if tuned is not config:
+                self._stats.autotuned += 1
+                REGISTRY.count("service.autotuned")
+                config = tuned
         self._stats.submitted += 1
         REGISTRY.count("service.submitted")
         self._emit(
@@ -311,6 +340,11 @@ class SimulationService:
             job.submitted_at = submitted_at
             job.resolve(cached, state=CACHED)
             self._observe_latency(job, "cached")
+            if self.autotuner is not None:
+                # A cache hit is still a completed pull of its arm — the
+                # deterministic makespan is the objective, so a stored
+                # result is exactly as informative as a fresh one.
+                self.autotuner.observe(config, makespan=cached.makespan)
             return job
 
         # 3. Admission: price the request before it may touch the pool.
@@ -420,6 +454,10 @@ class SimulationService:
         self.model.observe(
             config.benchmark, config.scheme, elapsed, cycles=result.makespan
         )
+        if self.autotuner is not None:
+            self.autotuner.observe(
+                config, seconds=elapsed, makespan=result.makespan
+            )
         self._stats.completed += 1
         self._emit(
             SERVICE_COMPLETE,
@@ -499,6 +537,10 @@ class SimulationService:
                     job.config.benchmark, job.config.scheme, share,
                     cycles=result.makespan,
                 )
+                if self.autotuner is not None:
+                    self.autotuner.observe(
+                        job.config, seconds=share, makespan=result.makespan
+                    )
             self._finish_job(job, result=result, error=failure)
 
     def _quarantine_failure(
@@ -598,6 +640,9 @@ class SimulationService:
         return replace(
             self._stats,
             model=self.model.snapshot(),
+            autotune=(
+                self.autotuner.snapshot() if self.autotuner is not None else {}
+            ),
             latency=self._latency_digest(),
         )
 

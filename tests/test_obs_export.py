@@ -2,6 +2,7 @@
 
 import io
 import json
+import os
 
 import pytest
 
@@ -16,6 +17,7 @@ from repro.obs.export import (
     chrome_trace,
     read_jsonl,
     write_chrome_trace,
+    write_json_atomic,
     write_jsonl,
 )
 from repro.obs.tracer import (
@@ -318,3 +320,74 @@ class TestServiceTrack:
         assert service_slices
         assert all(s["dur"] >= 0 for s in service_slices)
         json.dumps(doc)
+
+
+class TestWriteJsonAtomic:
+    """``repro serve --stats-json`` must never leave a torn report: the
+    payload is staged in a same-directory temp file and published with
+    one ``os.replace`` (ISSUE 10 satellite)."""
+
+    def test_writes_sorted_parseable_json(self, tmp_path):
+        path = tmp_path / "stats.json"
+        write_json_atomic({"b": 1, "a": {"autotune": True}}, path)
+        text = path.read_text()
+        assert json.loads(text) == {"b": 1, "a": {"autotune": True}}
+        assert text.index('"a"') < text.index('"b"')  # sort_keys
+        assert text.endswith("\n")
+        assert list(tmp_path.iterdir()) == [path]  # no temp droppings
+
+    def test_overwrites_previous_report(self, tmp_path):
+        path = tmp_path / "stats.json"
+        write_json_atomic({"version": 1}, path)
+        write_json_atomic({"version": 2}, path)
+        assert json.loads(path.read_text()) == {"version": 2}
+
+    def test_kill_mid_write_leaves_previous_report_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A kill while the temp file is being written (simulated as
+        KeyboardInterrupt after a partial write) must leave the
+        published path untouched and clean up the temp file."""
+        path = tmp_path / "stats.json"
+        write_json_atomic({"version": 1}, path)
+        real_fdopen = os.fdopen
+
+        class DiesMidWrite:
+            def __init__(self, handle):
+                self._handle = handle
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._handle.close()
+
+            def write(self, text):
+                self._handle.write(text[: len(text) // 2])
+                raise KeyboardInterrupt("killed mid-write")
+
+        monkeypatch.setattr(
+            "repro.obs.export.os.fdopen",
+            lambda fd, *args, **kwargs: DiesMidWrite(
+                real_fdopen(fd, *args, **kwargs)
+            ),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            write_json_atomic({"version": 2}, path)
+        assert json.loads(path.read_text()) == {"version": 1}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failed_publish_cleans_up_the_temp_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "stats.json"
+        write_json_atomic({"version": 1}, path)
+
+        def refuse(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr("repro.obs.export.os.replace", refuse)
+        with pytest.raises(OSError):
+            write_json_atomic({"version": 2}, path)
+        assert json.loads(path.read_text()) == {"version": 1}
+        assert list(tmp_path.iterdir()) == [path]

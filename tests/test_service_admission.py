@@ -182,6 +182,89 @@ def test_windowed_ewma_forgets_ancient_history(samples):
 
 
 # ----------------------------------------------------------------------
+# CostModel.predict: the cold-start / warm-start seam (ISSUE 10)
+# ----------------------------------------------------------------------
+class TestCostModelPredict:
+    def test_cold_start_predicts_none_for_every_pair(self):
+        model = CostModel()
+        assert model.predict("GC-citation", "spawn") is None
+        assert model.snapshot() == {}
+
+    def test_first_observation_seeds_the_estimate_exactly(self):
+        model = CostModel(alpha=0.3)
+        model.observe("GC-citation", "spawn", 2.5)
+        assert model.predict("GC-citation", "spawn") == 2.5
+
+    def test_pairs_warm_up_independently(self):
+        model = CostModel()
+        model.observe("GC-citation", "spawn", 1.0)
+        assert model.predict("GC-citation", "flat") is None
+        assert model.predict("MM-small", "spawn") is None
+
+    def test_warm_estimate_is_the_ewma_fold(self):
+        model = CostModel(alpha=0.5)
+        expected = None
+        for sample in (1.0, 3.0, 3.0, 9.0):
+            model.observe("GC-citation", "spawn", sample)
+            expected = (
+                sample if expected is None else 0.5 * sample + 0.5 * expected
+            )
+        assert model.predict("GC-citation", "spawn") == expected
+
+    def test_rate_estimate_needs_cycles_and_nonzero_seconds(self):
+        model = CostModel()
+        model.observe("GC-citation", "spawn", 2.0)
+        assert "cycles_per_second" not in model.snapshot()["GC-citation/spawn"]
+        model.observe("GC-citation", "spawn", 0.0, cycles=100.0)  # 0 s: no rate
+        assert "cycles_per_second" not in model.snapshot()["GC-citation/spawn"]
+        model.observe("GC-citation", "spawn", 2.0, cycles=100.0)
+        assert model.snapshot()["GC-citation/spawn"][
+            "cycles_per_second"
+        ] == pytest.approx(50.0)
+
+    def test_snapshot_sample_count_is_window_bounded(self):
+        model = CostModel(window=4)
+        for _ in range(10):
+            model.observe("GC-citation", "spawn", 1.0)
+        assert model.snapshot()["GC-citation/spawn"]["samples"] == 4
+
+
+# ----------------------------------------------------------------------
+# WindowedEWMA window eviction edge cases (ISSUE 10)
+# ----------------------------------------------------------------------
+class TestWindowedEWMAEviction:
+    def test_count_saturates_at_the_window(self):
+        ewma = WindowedEWMA(window=4)
+        for index in range(10):
+            ewma.observe(float(index))
+            assert ewma.count == min(index + 1, 4)
+
+    def test_eviction_does_not_rewrite_the_estimate(self):
+        """The window bounds the retained *samples*; the EWMA itself is
+        the full fold (eviction must not cause a jump in the value)."""
+        full = WindowedEWMA(alpha=0.25, window=3)
+        unbounded = WindowedEWMA(alpha=0.25, window=1000)
+        for sample in (1.0, 8.0, 2.0, 9.0, 4.0, 7.0):
+            full.observe(sample)
+            unbounded.observe(sample)
+        assert full.value == unbounded.value
+        assert full.count == 3 and unbounded.count == 6
+
+    def test_window_of_one_keeps_one_sample_but_full_memory(self):
+        ewma = WindowedEWMA(alpha=0.5, window=1)
+        ewma.observe(4.0)
+        ewma.observe(8.0)
+        assert ewma.count == 1
+        # alpha=0.5 fold over both observations, not just the survivor.
+        assert ewma.value == 6.0
+
+    def test_value_is_none_until_first_observation(self):
+        ewma = WindowedEWMA()
+        assert ewma.value is None
+        assert ewma.count == 0
+
+
+# ----------------------------------------------------------------------
 # Constructor validation (the service rejects nonsense tunables)
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
